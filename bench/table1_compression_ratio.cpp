@@ -1,0 +1,184 @@
+// Reproduces Table 1: per-network top-1 accuracy and convolutional
+// activation size, baseline vs compressed, plus the comparison points the
+// paper cites (lossless ~2x, JPEG-ACT ~7x).
+//
+// Two measurement scales are combined, as explained in DESIGN.md:
+//   - activation *sizes* use the exact 224x224 layer geometry (batch 32),
+//   - accuracies and compression *ratios* come from real (scaled) training
+//     runs with the adaptive framework in the loop.
+
+#include <cstdio>
+
+#include "baselines/jpegact.hpp"
+#include "baselines/lossless.hpp"
+#include "bench_util.hpp"
+#include "core/session.hpp"
+#include "core/sz_codec.hpp"
+#include "data/synthetic.hpp"
+#include "memory/accounting.hpp"
+#include "sz/compressor.hpp"
+#include "sz/metrics.hpp"
+#include "tensor/ops.hpp"
+#include "memory/report.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace ebct;
+
+namespace {
+
+struct Row {
+  std::string network;
+  double acc_base = 0.0, acc_fw = 0.0;
+  std::size_t act_bytes_224 = 0;
+  double ratio_fw = 0.0, ratio_lossless = 0.0, ratio_jpegact = 0.0;
+};
+
+/// Plain-SGD networks without batch norm need a gentler rate at this scale.
+double model_lr(const std::string& name) {
+  return (name == "AlexNet" || name == "VGG-16") ? 0.01 : 0.05;
+}
+
+Row run_network(const std::string& name, std::size_t iters) {
+  Row row;
+  row.network = name;
+
+  // --- Activation geometry at ImageNet scale (batch 32). -------------------
+  {
+    models::ModelConfig mcfg;
+    mcfg.input_hw = 224;
+    mcfg.num_classes = 1000;
+    auto net = models::find_model(name)(mcfg);
+    row.act_bytes_224 =
+        net->conv_activation_bytes(tensor::Shape::nchw(256, 3, 224, 224));
+  }
+
+  // --- Scaled training runs: baseline vs framework. ------------------------
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 33;
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 128;
+  dspec.test_per_class = 32;
+  dspec.seed = 1300;
+  data::SyntheticImageDataset ds(dspec);
+
+  auto net_base = models::find_model(name)(mcfg);
+  data::DataLoader la(ds, 16, true, true, 13);
+  core::SessionConfig cb;
+  cb.mode = core::StoreMode::kBaseline;
+  cb.base_lr = model_lr(name);
+  cb.lr_step = 150;
+  cb.lr_gamma = 0.3;
+  core::TrainingSession base(*net_base, la, cb);
+  base.run(iters);
+  data::DataLoader ea(ds, 16, false, false);
+  row.acc_base = base.evaluate(ea, 8);
+
+  auto net_fw = models::find_model(name)(mcfg);
+  data::DataLoader lb(ds, 16, true, true, 13);
+  core::SessionConfig cf;
+  cf.mode = core::StoreMode::kFramework;
+  cf.framework.active_factor_w = 20;
+  cf.base_lr = model_lr(name);
+  cf.lr_step = 150;
+  cf.lr_gamma = 0.3;
+  core::TrainingSession fw(*net_fw, lb, cf);
+  fw.run(iters);
+  data::DataLoader eb(ds, 16, false, false);
+  row.acc_fw = fw.evaluate(eb, 8);
+  row.ratio_fw = fw.history().back().mean_compression_ratio;
+
+  // --- Comparator codecs on the framework's late-training activations. -----
+  bench::CaptureStore capture;
+  net_fw->set_store(&capture);
+  bench::run_iteration(*net_fw, 16, 16, 4, /*seed=*/77);
+  baselines::LosslessCodec lossless;
+  baselines::JpegActCodec jpegact(50);
+  std::size_t orig = 0, lossless_bytes = 0, jpeg_bytes = 0;
+  for (const auto& [layer, act] : capture.captured()) {
+    orig += act.bytes();
+    lossless_bytes += lossless.encode(layer, act).bytes.size();
+    if (act.shape().rank() == 4) jpeg_bytes += jpegact.encode(layer, act).bytes.size();
+  }
+  row.ratio_lossless = orig ? static_cast<double>(orig) / lossless_bytes : 0.0;
+  row.ratio_jpegact = jpeg_bytes ? static_cast<double>(orig) / jpeg_bytes : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Table 1 — accuracy and conv-activation size, baseline vs framework ===\n");
+  const std::size_t kIters = 300;
+
+  memory::Table table({"network", "top-1 base", "top-1 EBCT", "delta",
+                       "conv act @224/b256", "EBCT ratio", "lossless", "JPEG-ACT"});
+  for (const auto& name : models::model_names()) {
+    const Row r = run_network(name, kIters);
+    table.add_row({r.network, memory::fmt("%.3f", r.acc_base),
+                   memory::fmt("%.3f", r.acc_fw),
+                   memory::fmt("%+.3f", r.acc_fw - r.acc_base),
+                   memory::human_bytes(r.act_bytes_224),
+                   memory::fmt("%.1fx", r.ratio_fw),
+                   memory::fmt("%.1fx", r.ratio_lossless),
+                   memory::fmt("%.1fx", r.ratio_jpegact)});
+  }
+  table.print();
+
+  // Codec comparison at true ImageNet geometry: harvest AlexNet conv inputs
+  // from a 224px forward pass and push the same tensors through all three
+  // codecs. (The scaled-training comparison above uses 16px activations,
+  // whose tiny DCT planes flatter JPEG-ACT.)
+  std::puts("\n--- codec comparison on AlexNet conv activations @224 ---");
+  {
+    models::ModelConfig mcfg;
+    mcfg.input_hw = 224;
+    mcfg.num_classes = 1000;
+    auto net = models::make_alexnet(mcfg);
+    bench::CaptureStore capture;
+    net->set_store(&capture);
+    bench::run_iteration(*net, 1, 224, 1000, /*seed=*/501);
+    // SZ at a 1%-of-range bound (typical framework operating point);
+    // JPEG-ACT at quality 50. The decisive difference the paper argues is
+    // error *control*: report max per-element error next to each ratio.
+    core::SzActivationCodec sz_codec([] {
+      sz::Config c;
+      c.error_bound = 1e-2;
+      c.bound_mode = sz::BoundMode::kRelative;
+      return c;
+    }());
+    baselines::LosslessCodec lossless;
+    baselines::JpegActCodec jpegact(50);
+    std::size_t orig = 0, szb = 0, llb = 0, jab = 0;
+    double sz_err = 0.0, jpeg_err = 0.0, scale = 0.0;
+    for (const auto& [layer, act] : capture.captured()) {
+      orig += act.bytes();
+      const auto sz_enc = sz_codec.encode(layer, act);
+      szb += sz_enc.bytes.size();
+      const tensor::Tensor sz_rec = sz_codec.decode(sz_enc);
+      sz_err = std::max(sz_err, sz::max_abs_error(act.span(), sz_rec.span()));
+      llb += lossless.encode(layer, act).bytes.size();
+      const auto j_enc = jpegact.encode(layer, act);
+      jab += j_enc.bytes.size();
+      const tensor::Tensor j_rec = jpegact.decode(j_enc);
+      jpeg_err = std::max(jpeg_err, sz::max_abs_error(act.span(), j_rec.span()));
+      scale = std::max(scale, static_cast<double>(tensor::max_abs(act.span())));
+    }
+    std::printf("SZ (rel eb 1%%): %.1fx, max err %.2e | lossless: %.1fx, exact | "
+                "JPEG-ACT q50: %.1fx, max err %.2e (UNBOUNDED)\n",
+                double(orig) / szb, sz_err, double(orig) / llb, double(orig) / jab,
+                jpeg_err);
+    std::printf("activation scale (max |x|): %.2f — SZ's error is controlled to "
+                "~1%% of range, JPEG-ACT's is not.\n", scale);
+  }
+
+  std::puts("\nPaper reference (ImageNet): AlexNet 13.5x, VGG-16 11.1x, ResNet-18");
+  std::puts("10.7x, ResNet-50 11.0x with <=0.31% top-1 loss; lossless <=2x and");
+  std::puts("JPEG-ACT ~7x. Shape check: EBCT ratio >> lossless and >= JPEG-ACT,");
+  std::puts("with near-zero accuracy delta between the two training columns.");
+  return 0;
+}

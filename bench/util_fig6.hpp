@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file util_fig6.hpp
+/// Gradient-error collection shared by the Fig. 6 / Fig. 8 benches: run a
+/// conv layer's backward twice — clean and with uniform error injected into
+/// its input activation — and return the per-element weight-gradient error.
+
+#include <string>
+#include <vector>
+
+#include "core/error_injection.hpp"
+#include "nn/conv2d.hpp"
+
+namespace ebct::bench {
+
+struct Fig6Layer {
+  std::string name;
+  nn::Conv2dSpec spec;
+  std::size_t hw;          ///< input spatial size
+  double loss_scale;       ///< magnitude of the incoming loss
+};
+
+/// AlexNet-flavoured conv layers at reduced spatial size (CPU budget).
+inline const std::vector<Fig6Layer>& fig6_layers() {
+  static const std::vector<Fig6Layer> layers = {
+      {"conv2-like", {16, 32, 5, 1, 2, false}, 14, 0.05},
+      {"conv3-like", {32, 48, 3, 1, 1, false}, 14, 0.03},
+      {"conv5-like", {48, 32, 3, 1, 1, false}, 7, 0.02},
+  };
+  return layers;
+}
+
+/// Collect weight-gradient errors over `trials` independent (input, loss)
+/// draws. `density_out`/`lbar_out` (optional) receive the layer stats of the
+/// final trial, for feeding the Eq. 6 predictor.
+inline std::vector<float> collect_gradient_errors(const Fig6Layer& cfg, double eb,
+                                                  double sparsity, std::size_t batch,
+                                                  bool preserve_zeros, int trials,
+                                                  double* lbar_out = nullptr,
+                                                  double* density_out = nullptr) {
+  std::vector<float> all;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t seed = 9000 + 31 * static_cast<std::uint64_t>(t);
+    tensor::Rng rng(seed);
+    nn::Conv2d conv(cfg.name, cfg.spec, rng);
+    nn::RawStore store;
+    conv.set_store(&store);
+
+    tensor::Tensor x(tensor::Shape::nchw(batch, cfg.spec.in_channels, cfg.hw, cfg.hw));
+    tensor::Rng xrng(seed + 1);
+    xrng.fill_relu_like(x.span(), sparsity, 1.0f);
+    tensor::Tensor loss(conv.output_shape(x.shape()));
+    tensor::Rng lrng(seed + 2);
+    for (std::size_t i = 0; i < loss.numel(); ++i)
+      loss[i] = static_cast<float>(lrng.normal(0.0, cfg.loss_scale));
+
+    conv.forward(x, true);
+    conv.weight().grad.zero();
+    conv.backward(loss);
+    std::vector<float> clean(conv.weight().grad.data(),
+                             conv.weight().grad.data() + conv.weight().grad.numel());
+    if (lbar_out) *lbar_out = conv.last_loss_mean_abs();
+    if (density_out) *density_out = conv.last_input_density();
+
+    tensor::Tensor xp = x.clone();
+    tensor::Rng inj(seed + 3);
+    core::inject_uniform(xp.span(), eb, inj, preserve_zeros);
+    conv.forward(xp, true);
+    conv.weight().grad.zero();
+    conv.backward(loss);
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      all.push_back(conv.weight().grad[i] - clean[i]);
+  }
+  return all;
+}
+
+}  // namespace ebct::bench

@@ -1,0 +1,95 @@
+// Command-line compressor for raw float32 files — the standalone face of
+// the SZ engine, usable on any binary dump of floats (activation snapshots,
+// simulation output, ...).
+//
+// Usage:
+//   ebct_compress_cli c <in.f32> <out.ebct> [abs_error_bound] [zero_mode]
+//   ebct_compress_cli d <in.ebct> <out.f32>
+// zero_mode in {none, rezero, rle}; default rezero (the paper's filter).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sz/compressor.hpp"
+
+using namespace ebct;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fprintf(stderr, "short read on %s\n", path);
+    std::exit(1);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void write_file(const char* path, const void* data, std::size_t size) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr || std::fwrite(data, 1, size, f) != size) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage:\n  %s c <in.f32> <out.ebct> [eb=1e-3] [none|rezero|rle]\n"
+                 "  %s d <in.ebct> <out.f32>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  if (mode == "c") {
+    const auto raw = read_file(argv[2]);
+    if (raw.size() % sizeof(float) != 0) {
+      std::fprintf(stderr, "%s is not a whole number of float32s\n", argv[2]);
+      return 1;
+    }
+    sz::Config cfg;
+    cfg.error_bound = argc > 4 ? std::atof(argv[4]) : 1e-3;
+    if (argc > 5) {
+      const std::string zm = argv[5];
+      cfg.zero_mode = zm == "none"     ? sz::ZeroMode::kNone
+                      : zm == "rle"    ? sz::ZeroMode::kExactRle
+                                       : sz::ZeroMode::kRezero;
+    }
+    sz::Compressor comp(cfg);
+    std::span<const float> data{reinterpret_cast<const float*>(raw.data()),
+                                raw.size() / sizeof(float)};
+    const auto buf = comp.compress(data);
+    write_file(argv[3], buf.bytes.data(), buf.bytes.size());
+    std::printf("%zu floats -> %zu bytes (%.2fx), abs eb %.3e\n", data.size(),
+                buf.bytes.size(), buf.compression_ratio(), buf.abs_error_bound);
+  } else if (mode == "d") {
+    sz::CompressedBuffer buf;
+    buf.bytes = read_file(argv[2]);
+    // num_elements lives in the self-describing header.
+    std::memcpy(&buf.num_elements, buf.bytes.data() + 4, sizeof(std::uint64_t));
+    sz::Compressor comp;
+    const auto out = comp.decompress(buf);
+    write_file(argv[3], out.data(), out.size() * sizeof(float));
+    std::printf("restored %zu floats\n", out.size());
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
+    return 2;
+  }
+  return 0;
+}

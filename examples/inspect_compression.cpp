@@ -1,0 +1,103 @@
+// Example: inspect what the compressor actually does to one network's
+// activations. Runs a forward/backward pass of the chosen model, then for
+// every conv layer reports: activation shape, sparsity R, mean |loss| L̄,
+// the adaptive error bound Eq. 9 would assign, the achieved compression
+// ratio at that bound, and an error histogram for one layer.
+//
+// Usage: inspect_compression [model] [sigma_fraction]
+//        defaults: AlexNet, 0.01 (the paper's 1%).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/adaptive.hpp"
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "memory/report.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "sz/metrics.hpp"
+#include "stats/distribution.hpp"
+#include "stats/histogram.hpp"
+
+using namespace ebct;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "AlexNet";
+  const double sigma_fraction = argc > 2 ? std::atof(argv[2]) : 0.01;
+  std::printf("=== compression inspector: %s, sigma target = %.0f%% of momentum ===\n\n",
+              model.c_str(), 100.0 * sigma_fraction);
+
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 32;
+  mcfg.num_classes = 8;
+  mcfg.width_multiplier = 0.5;
+  auto net = models::find_model(model)(mcfg);
+
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 8;
+  dspec.image_hw = 32;
+  dspec.train_per_class = 32;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true);
+
+  // A few real training steps so momentum / loss statistics exist.
+  core::SessionConfig scfg;
+  scfg.mode = core::StoreMode::kFramework;
+  scfg.framework.sigma_fraction = sigma_fraction;
+  scfg.framework.active_factor_w = 5;
+  scfg.base_lr = 0.01;
+  core::TrainingSession session(*net, loader, scfg);
+  session.run(15);
+
+  const auto& stats = session.scheme()->last_statistics();
+  const auto& bounds = session.scheme()->last_bounds();
+  const auto ratios = session.codec()->last_ratios();
+
+  memory::Table table({"conv layer", "R (density)", "L-bar", "M-bar",
+                       "eb raw (Eq. 9)", "eb applied", "ratio"});
+  const auto& model_eq = session.scheme()->error_model();
+  const auto& assessor = session.scheme()->assessor();
+  net->visit([&](nn::Layer& l) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&l);
+    if (conv == nullptr || !stats.count(conv->name())) return;
+    const auto& s = stats.at(conv->name());
+    const double raw_eb = model_eq.solve_error_bound(s, assessor.target_sigma(s));
+    table.add_row({conv->name(), memory::fmt("%.2f", s.density),
+                   memory::fmt("%.2e", s.loss_mean_abs),
+                   memory::fmt("%.2e", s.momentum_mean_abs),
+                   memory::fmt("%.2e", raw_eb),
+                   memory::fmt("%.2e", bounds.at(conv->name())),
+                   ratios.count(conv->name())
+                       ? memory::fmt("%.1fx", ratios.at(conv->name()))
+                       : "-"});
+  });
+  table.print();
+  std::puts("\nNote: when the raw Eq. 9 bound exceeds the safety clamp");
+  std::puts("(max_error_bound, default 1e-1) the clamp binds — typical at toy");
+  std::puts("scale, where per-element losses are tiny. At ImageNet scale the raw");
+  std::puts("bound lands in the 1e-4..1e-2 range and varies per layer.");
+
+  // Error histogram of the first conv layer at its adaptive bound.
+  net->visit([&](nn::Layer& l) {
+    static bool done = false;
+    auto* conv = dynamic_cast<nn::Conv2d*>(&l);
+    if (done || conv == nullptr || !bounds.count(conv->name())) return;
+    done = true;
+    const double eb = bounds.at(conv->name());
+    tensor::Tensor act(tensor::Shape::nchw(4, conv->spec().in_channels, 32, 32));
+    tensor::Rng rng(8);
+    rng.fill_relu_like(act.span(), 0.5, 1.0f);
+    sz::Config c;
+    c.error_bound = eb;
+    sz::Compressor comp(c);
+    const auto recon = comp.decompress(comp.compress(act.span()));
+    const auto errors = sz::pointwise_errors(act.span(), {recon.data(), recon.size()});
+    stats::Histogram h(-eb, eb, 50);
+    h.add({errors.data(), errors.size()});
+    std::printf("\n%s reconstruction-error histogram at eb = %.2e:\n%s",
+                conv->name().c_str(), eb, h.ascii(8).c_str());
+  });
+  return 0;
+}

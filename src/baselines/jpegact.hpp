@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file jpegact.hpp
+/// JPEG-ACT-style activation codec (Evans et al., ISCA'20) — the
+/// state-of-the-art comparator in the paper. Treats each channel plane of
+/// the activation tensor as an 8-bit image: global scale to [-128, 127],
+/// 8x8 block DCT, quality-scaled quantization with the standard JPEG
+/// luminance table, zigzag scan, and Huffman coding of the quantized
+/// coefficients. The per-element error is *not* bounded — the property the
+/// paper contrasts against — and the ratio lands in the ~5-10x regime.
+
+#include "nn/activation_store.hpp"
+
+namespace ebct::baselines {
+
+class JpegActCodec : public nn::ActivationCodec {
+ public:
+  /// quality in [1, 100]; 50 reproduces the ~7x ratios the paper cites.
+  explicit JpegActCodec(int quality = 50);
+
+  nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
+  tensor::Tensor decode(const nn::EncodedActivation& enc) override;
+  std::string name() const override { return "jpeg-act"; }
+
+  int quality() const { return quality_; }
+
+ private:
+  int quality_;
+  int qtable_[64];
+};
+
+}  // namespace ebct::baselines

@@ -1,0 +1,124 @@
+#include "baselines/lossless.hpp"
+
+#include <cstring>
+
+#include "sz/bitstream.hpp"
+#include "sz/huffman.hpp"
+
+namespace ebct::baselines {
+
+using nn::EncodedActivation;
+using tensor::Tensor;
+
+EncodedActivation LosslessCodec::encode(const std::string& layer, const Tensor& act) {
+  EncodedActivation enc;
+  enc.layer = layer;
+  enc.shape = act.shape();
+
+  // Stream 1: alternating zero-run / nonzero-run lengths.
+  sz::BitWriter rle;
+  std::vector<float> packed;
+  packed.reserve(act.numel());
+  std::size_t i = 0;
+  const auto data = act.span();
+  while (i < data.size()) {
+    std::size_t z = i;
+    while (z < data.size() && data[z] == 0.0f) ++z;
+    rle.put_varint(z - i);
+    std::size_t nz = z;
+    while (nz < data.size() && data[nz] != 0.0f) ++nz;
+    rle.put_varint(nz - z);
+    for (std::size_t k = z; k < nz; ++k) packed.push_back(data[k]);
+    i = nz;
+  }
+  auto rle_bytes = rle.finish();
+
+  // Stream 2: per-byte-plane Huffman over the packed nonzero floats.
+  std::vector<std::uint8_t> plane_payload;
+  std::vector<std::uint64_t> plane_sizes;
+  for (int plane = 0; plane < 4; ++plane) {
+    std::vector<std::uint32_t> symbols(packed.size());
+    for (std::size_t k = 0; k < packed.size(); ++k) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &packed[k], 4);
+      symbols[k] = (bits >> (8 * plane)) & 0xff;
+    }
+    std::vector<std::uint64_t> freqs(256, 0);
+    for (auto s : symbols) ++freqs[s];
+    sz::HuffmanCodec codec;
+    codec.build(freqs);
+    auto table = codec.serialize_table();
+    auto body = codec.encode(symbols);
+    plane_sizes.push_back(table.size());
+    plane_sizes.push_back(body.size());
+    plane_payload.insert(plane_payload.end(), table.begin(), table.end());
+    plane_payload.insert(plane_payload.end(), body.begin(), body.end());
+  }
+
+  // Layout: u64 numel, u64 packed_count, u64 rle_size, 8x u64 plane sizes,
+  // rle bytes, plane payload.
+  auto put_u64 = [&enc](std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    enc.bytes.insert(enc.bytes.end(), p, p + 8);
+  };
+  put_u64(act.numel());
+  put_u64(packed.size());
+  put_u64(rle_bytes.size());
+  for (auto s : plane_sizes) put_u64(s);
+  enc.bytes.insert(enc.bytes.end(), rle_bytes.begin(), rle_bytes.end());
+  enc.bytes.insert(enc.bytes.end(), plane_payload.begin(), plane_payload.end());
+  return enc;
+}
+
+Tensor LosslessCodec::decode(const EncodedActivation& enc) {
+  const std::uint8_t* p = enc.bytes.data();
+  auto get_u64 = [&p]() {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    p += 8;
+    return v;
+  };
+  const std::uint64_t numel = get_u64();
+  const std::uint64_t packed_count = get_u64();
+  const std::uint64_t rle_size = get_u64();
+  std::uint64_t plane_sizes[8];
+  for (auto& s : plane_sizes) s = get_u64();
+
+  std::span<const std::uint8_t> rle_bytes{p, static_cast<std::size_t>(rle_size)};
+  p += rle_size;
+
+  std::vector<std::uint32_t> planes[4];
+  for (int plane = 0; plane < 4; ++plane) {
+    const std::uint64_t table_size = plane_sizes[2 * plane];
+    const std::uint64_t body_size = plane_sizes[2 * plane + 1];
+    sz::HuffmanCodec codec;
+    codec.deserialize_table({p, static_cast<std::size_t>(table_size)});
+    p += table_size;
+    planes[plane] = codec.decode({p, static_cast<std::size_t>(body_size)},
+                                 static_cast<std::size_t>(packed_count));
+    p += body_size;
+  }
+
+  std::vector<float> packed(packed_count);
+  for (std::size_t k = 0; k < packed_count; ++k) {
+    std::uint32_t bits = 0;
+    for (int plane = 0; plane < 4; ++plane) {
+      bits |= (planes[plane][k] & 0xffu) << (8 * plane);
+    }
+    std::memcpy(&packed[k], &bits, 4);
+  }
+
+  Tensor out(enc.shape);
+  sz::BitReader r(rle_bytes);
+  std::size_t oi = 0, pi = 0;
+  while (oi < numel) {
+    const std::uint64_t zrun = r.get_varint();
+    for (std::uint64_t k = 0; k < zrun && oi < numel; ++k) out[oi++] = 0.0f;
+    if (oi >= numel) break;
+    const std::uint64_t nzrun = r.get_varint();
+    for (std::uint64_t k = 0; k < nzrun && oi < numel; ++k) out[oi++] = packed[pi++];
+  }
+  return out;
+}
+
+}  // namespace ebct::baselines

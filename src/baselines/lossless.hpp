@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file lossless.hpp
+/// Lossless activation codec — the ~2x comparison point the paper cites for
+/// float data ([35], [39]). Scheme: exact-zero run-length stream (activation
+/// sparsity is where lossless wins) plus per-byte-plane Huffman coding of
+/// the remaining IEEE-754 bytes (exponent bytes are highly compressible,
+/// mantissa bytes are near-random — which is exactly why lossless tops out
+/// around 2x).
+
+#include "nn/activation_store.hpp"
+
+namespace ebct::baselines {
+
+class LosslessCodec : public nn::ActivationCodec {
+ public:
+  nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
+  tensor::Tensor decode(const nn::EncodedActivation& enc) override;
+  std::string name() const override { return "lossless-rle-huffman"; }
+};
+
+}  // namespace ebct::baselines

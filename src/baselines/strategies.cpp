@@ -1,0 +1,58 @@
+#include "baselines/strategies.hpp"
+
+namespace ebct::baselines {
+
+std::vector<StrategyOutcome> compare_strategies(nn::Network& net, std::size_t input_hw,
+                                                const memory::DeviceModel& device,
+                                                double framework_ratio,
+                                                double framework_overhead,
+                                                double baseline_step_seconds,
+                                                double lossless_ratio,
+                                                double jpegact_ratio) {
+  const memory::MemoryBreakdown b = memory::analyze(net, input_hw, 32);
+  std::vector<StrategyOutcome> out;
+
+  auto add_ratio_strategy = [&](const std::string& name, double ratio, double overhead) {
+    StrategyOutcome s;
+    s.name = name;
+    s.peak_bytes = b.peak_bytes(ratio);
+    s.max_batch = memory::max_batch(net, input_hw, device, ratio);
+    s.overhead_fraction = overhead;
+    s.memory_reduction = ratio;
+    out.push_back(std::move(s));
+  };
+
+  add_ratio_strategy("baseline (raw)", 1.0, 0.0);
+  add_ratio_strategy("lossless", lossless_ratio, 0.05);
+  add_ratio_strategy("JPEG-ACT", jpegact_ratio, 0.08);
+  add_ratio_strategy("EBCT (this work)", framework_ratio, framework_overhead);
+
+  {
+    // Migration: all activations fit (stash -> host) but pay transfer time.
+    const MigrationModel mig = MigrationModel::pcie3();
+    StrategyOutcome s;
+    s.name = "migration (PCIe3)";
+    s.peak_bytes = b.weight_bytes + b.optimizer_state_bytes + b.workspace_bytes;
+    s.max_batch = memory::max_batch(net, input_hw, device, 1e9);
+    s.overhead_fraction =
+        baseline_step_seconds > 0.0
+            ? mig.transfer_seconds(b.stashed_activation_bytes) / baseline_step_seconds
+            : 0.0;
+    s.memory_reduction = 1e9;
+    out.push_back(std::move(s));
+  }
+  {
+    const RecomputeModel rec;
+    StrategyOutcome s;
+    s.name = "recompute (cheap layers)";
+    const double ratio = 1.0 / (1.0 - rec.cheap_layer_fraction);
+    s.peak_bytes = b.peak_bytes(ratio);
+    s.max_batch = memory::max_batch(net, input_hw, device, ratio);
+    s.overhead_fraction = rec.forward_overhead_fraction;
+    s.memory_reduction = ratio;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace ebct::baselines

@@ -1,0 +1,43 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace ebct::core {
+
+AdaptiveScheme::AdaptiveScheme(FrameworkConfig cfg, SzActivationCodec* codec)
+    : cfg_(cfg), codec_(codec), model_(cfg.coefficient_a), assessor_(cfg.sigma_fraction) {}
+
+void AdaptiveScheme::update(nn::Network& net, std::size_t batch_size) {
+  stats_.clear();
+  bounds_.clear();
+  net.visit([&](nn::Layer& layer) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&layer);
+    if (conv == nullptr) return;
+
+    // Phase 1 — parameter collection (§4.1): semi-online L̄, R, M̄ plus the
+    // offline batch size.
+    LayerStatistics s;
+    s.loss_mean_abs = conv->last_loss_mean_abs();
+    s.density = conv->last_input_density();
+    s.momentum_mean_abs = tensor::mean_abs(conv->weight().momentum.span());
+    s.batch_size = batch_size;
+    stats_[conv->name()] = s;
+
+    // Phase 2 — gradient assessment (§4.2, Eq. 8).
+    const double sigma_target = assessor_.target_sigma(s);
+
+    // Phase 3 — activation assessment (§4.3, Eq. 9), clamped for safety.
+    double eb = model_.solve_error_bound(s, sigma_target);
+    if (eb <= 0.0) eb = cfg_.bootstrap_error_bound;
+    eb = std::clamp(eb, cfg_.min_error_bound, cfg_.max_error_bound);
+    bounds_[conv->name()] = eb;
+
+    // Phase 4 — install on the compressor.
+    if (codec_ != nullptr) codec_->set_layer_bound(conv->name(), eb);
+  });
+}
+
+}  // namespace ebct::core

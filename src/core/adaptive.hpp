@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file adaptive.hpp
+/// Phases 1-4 of the framework (§4, Fig. 7): collect per-layer training
+/// statistics (parameter collection), derive the acceptable gradient error
+/// from the momentum (gradient assessment), invert the error model into a
+/// per-layer absolute error bound (activation assessment), and install the
+/// bounds on the SZ codec (adaptive compression).
+
+#include <map>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/error_model.hpp"
+#include "core/gradient_assessor.hpp"
+#include "core/sz_codec.hpp"
+#include "nn/network.hpp"
+
+namespace ebct::core {
+
+class AdaptiveScheme {
+ public:
+  AdaptiveScheme(FrameworkConfig cfg, SzActivationCodec* codec);
+
+  const FrameworkConfig& config() const { return cfg_; }
+
+  /// True on iterations where the semi-online parameters are re-collected
+  /// (every W iterations; always on iteration 0's first refresh point).
+  bool should_update(std::size_t iteration) const {
+    return iteration % cfg_.active_factor_w == 0;
+  }
+
+  /// Run phases 1-4 against the network's current state. Call after a
+  /// backward pass so the conv layers carry fresh L̄ / R statistics.
+  void update(nn::Network& net, std::size_t batch_size);
+
+  /// Statistics and bounds from the most recent update (for logging and the
+  /// Fig. 8 / Fig. 10 benches).
+  const std::map<std::string, LayerStatistics>& last_statistics() const { return stats_; }
+  const std::map<std::string, double>& last_bounds() const { return bounds_; }
+
+  const ErrorModel& error_model() const { return model_; }
+  const GradientAssessor& assessor() const { return assessor_; }
+
+ private:
+  FrameworkConfig cfg_;
+  SzActivationCodec* codec_;
+  ErrorModel model_;
+  GradientAssessor assessor_;
+  std::map<std::string, LayerStatistics> stats_;
+  std::map<std::string, double> bounds_;
+};
+
+}  // namespace ebct::core

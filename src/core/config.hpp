@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file config.hpp
+/// Framework-wide constants and tunables of the adaptive compression scheme,
+/// named after the symbols in the paper.
+
+#include <cstddef>
+
+#include "sz/compressor.hpp"
+
+namespace ebct::core {
+
+struct FrameworkConfig {
+  /// Empirical coefficient `a` in sigma ≈ a * L̄ * sqrt(N*R) * eb (Eq. 6).
+  /// The paper calibrates 0.32 (≈ 1/3 = stddev of U(-1,1) at N=1).
+  double coefficient_a = 0.32;
+
+  /// Acceptable gradient-error scale as a fraction of the mean |momentum|
+  /// (Eq. 8). The paper selects 1% after the Fig. 9 sweep.
+  double sigma_fraction = 0.01;
+
+  /// Active factor W: semi-online parameters (L̄, R, M̄) are re-collected
+  /// every W iterations (§4.1; paper default 1000).
+  std::size_t active_factor_w = 1000;
+
+  /// Safety clamps on the derived absolute error bound.
+  double min_error_bound = 1e-7;
+  double max_error_bound = 1e-1;
+
+  /// Error bound used for a layer before its first statistics collection.
+  double bootstrap_error_bound = 1e-4;
+
+  /// Zero handling in the compressor (§4.4; the paper uses the re-zero
+  /// decompression filter).
+  sz::ZeroMode zero_mode = sz::ZeroMode::kRezero;
+};
+
+}  // namespace ebct::core

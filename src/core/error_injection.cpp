@@ -1,0 +1,17 @@
+#include "core/error_injection.hpp"
+
+namespace ebct::core {
+
+void inject_uniform(std::span<float> data, double eb, tensor::Rng& rng,
+                    bool preserve_zeros) {
+  for (auto& v : data) {
+    if (preserve_zeros && v == 0.0f) continue;
+    v += static_cast<float>(rng.uniform(-eb, eb));
+  }
+}
+
+void inject_normal(std::span<float> data, double sigma, tensor::Rng& rng) {
+  for (auto& v : data) v += static_cast<float>(rng.normal(0.0, sigma));
+}
+
+}  // namespace ebct::core

@@ -1,0 +1,20 @@
+#include "core/error_model.hpp"
+
+#include <cmath>
+
+namespace ebct::core {
+
+double ErrorModel::predict_sigma(const LayerStatistics& s, double error_bound) const {
+  if (s.batch_size == 0) return 0.0;
+  const double n_eff = static_cast<double>(s.batch_size) * std::max(0.0, s.density);
+  return a_ * s.loss_mean_abs * std::sqrt(n_eff) * error_bound;
+}
+
+double ErrorModel::solve_error_bound(const LayerStatistics& s, double sigma_target) const {
+  const double n_eff = static_cast<double>(s.batch_size) * std::max(1e-12, s.density);
+  const double denom = a_ * s.loss_mean_abs * std::sqrt(n_eff);
+  if (denom <= 0.0) return 0.0;  // no signal yet; caller applies bootstrap bound
+  return sigma_target / denom;
+}
+
+}  // namespace ebct::core

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file error_model.hpp
+/// The paper's error-propagation model (§3.2): uniform compression error on
+/// the activations of a convolutional layer induces normally distributed
+/// error on its weight gradient, with
+///
+///   sigma ≈ a * L̄ * sqrt(N) * eb          (Eq. 6)
+///   sigma' = sigma * sqrt(R)               (Eq. 7, zero preservation)
+///
+/// and the inverse used by the activation assessment (Eq. 9):
+///
+///   eb = sigma_target / (a * L̄ * sqrt(N * R))
+///
+/// where L̄ is the mean |loss| reaching the layer, N the batch size and R
+/// the non-zero fraction of the activation tensor.
+
+#include <cstddef>
+
+namespace ebct::core {
+
+struct LayerStatistics {
+  double loss_mean_abs = 0.0;    ///< L̄, mean |dL/dy| at the layer
+  double density = 1.0;          ///< R, non-zero fraction of the activation
+  double momentum_mean_abs = 0.0;///< M̄, mean |momentum| of the layer weights
+  std::size_t batch_size = 0;    ///< N
+};
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(double coefficient_a = 0.32) : a_(coefficient_a) {}
+
+  double coefficient_a() const { return a_; }
+
+  /// Predicted gradient-error sigma for a given activation error bound
+  /// (Eqs. 6 + 7). Zero-preserving compression passes R < 1.
+  double predict_sigma(const LayerStatistics& s, double error_bound) const;
+
+  /// Invert the model: the largest activation error bound whose induced
+  /// gradient error stays at `sigma_target` (Eq. 9).
+  double solve_error_bound(const LayerStatistics& s, double sigma_target) const;
+
+ private:
+  double a_;
+};
+
+}  // namespace ebct::core

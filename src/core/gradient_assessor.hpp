@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file gradient_assessor.hpp
+/// Phase 2 of the framework (§4.2): determine the acceptable gradient-error
+/// sigma for each layer. The paper anchors it to the optimizer momentum —
+/// sigma_target = sigma_fraction * mean|momentum| (Eq. 8) — because the
+/// momentum both smooths symmetric gradient noise and sets the natural
+/// scale of a "negligible" perturbation.
+
+#include "core/error_model.hpp"
+
+namespace ebct::core {
+
+class GradientAssessor {
+ public:
+  explicit GradientAssessor(double sigma_fraction = 0.01) : fraction_(sigma_fraction) {}
+
+  double sigma_fraction() const { return fraction_; }
+
+  /// Acceptable sigma for a layer given its momentum statistics (Eq. 8).
+  double target_sigma(const LayerStatistics& s) const {
+    return fraction_ * s.momentum_mean_abs;
+  }
+
+ private:
+  double fraction_;
+};
+
+}  // namespace ebct::core

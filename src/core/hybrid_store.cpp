@@ -1,0 +1,81 @@
+#include "core/hybrid_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ebct::core {
+
+using tensor::Tensor;
+
+HybridStore::HybridStore(std::shared_ptr<SzActivationCodec> codec,
+                         std::shared_ptr<RoutePolicy> policy)
+    : codec_(std::move(codec)), policy_(std::move(policy)) {
+  if (!codec_ || !policy_) throw std::invalid_argument("HybridStore: null codec/policy");
+}
+
+nn::StashHandle HybridStore::stash(const std::string& layer, Tensor&& act) {
+  const nn::StashHandle h = next_++;
+  const std::size_t original = act.bytes();
+  Entry e;
+  e.shape = act.shape();
+  e.route = policy_->route(layer, original);
+  routes_[layer] = e.route;
+
+  nn::StoreStats& s = stats_[layer];
+  s.stashed_tensors += 1;
+  s.original_bytes += original;
+
+  switch (e.route) {
+    case StashRoute::kCompress: {
+      e.encoded = codec_->encode(layer, act);
+      e.encoded.shape = act.shape();
+      s.stored_bytes += e.encoded.bytes.size();
+      device_bytes_ += e.encoded.bytes.size();
+      break;
+    }
+    case StashRoute::kRaw: {
+      s.stored_bytes += original;
+      device_bytes_ += original;
+      e.raw = std::move(act);
+      break;
+    }
+    case StashRoute::kMigrate: {
+      e.host.resize(original);
+      std::memcpy(e.host.data(), act.data(), original);
+      host_bytes_ += original;
+      migration_.bytes_out += original;
+      // Migrated stashes consume zero device bytes while parked host-side.
+      break;
+    }
+  }
+  entries_.emplace(h, std::move(e));
+  return h;
+}
+
+Tensor HybridStore::retrieve(nn::StashHandle handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) throw std::logic_error("HybridStore::retrieve: unknown handle");
+  Entry& e = it->second;
+  Tensor out;
+  switch (e.route) {
+    case StashRoute::kCompress:
+      out = codec_->decode(e.encoded);
+      device_bytes_ -= e.encoded.bytes.size();
+      break;
+    case StashRoute::kRaw:
+      out = std::move(e.raw);
+      device_bytes_ -= out.bytes();
+      break;
+    case StashRoute::kMigrate: {
+      out = Tensor(e.shape);
+      std::memcpy(out.data(), e.host.data(), e.host.size());
+      host_bytes_ -= e.host.size();
+      migration_.bytes_back += e.host.size();
+      break;
+    }
+  }
+  entries_.erase(it);
+  return out;
+}
+
+}  // namespace ebct::core

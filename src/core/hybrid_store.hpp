@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file hybrid_store.hpp
+/// The paper's future-work direction (§6): "implement those orthogonal
+/// methods such as data migration and recomputation into the framework for
+/// higher performance and more memory reduction." HybridStore routes each
+/// stashed activation to one of three backends by a per-layer policy:
+///
+///   kCompress : SZ error-bounded compression (the framework default)
+///   kMigrate  : host-offload — bytes leave the device-byte budget and a
+///               PCIe-bandwidth cost is accounted (migration simulator)
+///   kRaw      : keep raw — the right call for tensors where compression
+///               costs more than it saves (the paper's 1x1-kernel caveat)
+///
+/// The default policy implements the 1x1-kernel caveat from §5.4: small
+/// activations (cheap to recompute / expensive to compress relative to their
+/// size) stay raw, the bulk goes through the compressor, and anything above
+/// a migration threshold is offloaded.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/strategies.hpp"
+#include "core/sz_codec.hpp"
+#include "nn/activation_store.hpp"
+
+namespace ebct::core {
+
+enum class StashRoute { kCompress, kMigrate, kRaw };
+
+/// Decide the route for a named activation of `bytes` size.
+class RoutePolicy {
+ public:
+  virtual ~RoutePolicy() = default;
+  virtual StashRoute route(const std::string& layer, std::size_t bytes) const = 0;
+};
+
+/// Size-threshold policy: raw below `raw_below_bytes`, migrate at or above
+/// `migrate_above_bytes`, compress in between.
+class SizeThresholdPolicy : public RoutePolicy {
+ public:
+  SizeThresholdPolicy(std::size_t raw_below_bytes, std::size_t migrate_above_bytes)
+      : raw_below_(raw_below_bytes), migrate_above_(migrate_above_bytes) {}
+
+  StashRoute route(const std::string&, std::size_t bytes) const override {
+    if (bytes < raw_below_) return StashRoute::kRaw;
+    if (bytes >= migrate_above_) return StashRoute::kMigrate;
+    return StashRoute::kCompress;
+  }
+
+ private:
+  std::size_t raw_below_;
+  std::size_t migrate_above_;
+};
+
+/// Accounting-level migration totals of a HybridStore run.
+struct MigrationLedger {
+  std::size_t bytes_out = 0;     ///< device -> host transfers
+  std::size_t bytes_back = 0;    ///< host -> device transfers
+  double seconds(const baselines::MigrationModel& model) const {
+    return (static_cast<double>(bytes_out) + static_cast<double>(bytes_back)) /
+           model.bandwidth_bytes_per_s * (1.0 - model.overlap_fraction);
+  }
+};
+
+class HybridStore : public nn::ActivationStore {
+ public:
+  HybridStore(std::shared_ptr<SzActivationCodec> codec, std::shared_ptr<RoutePolicy> policy);
+
+  nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
+  tensor::Tensor retrieve(nn::StashHandle handle) override;
+
+  /// Device-resident bytes only: migrated tensors live host-side and do not
+  /// count (that is the point of migration).
+  std::size_t held_bytes() const override { return device_bytes_; }
+
+  std::map<std::string, nn::StoreStats> stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+
+  std::size_t host_bytes() const { return host_bytes_; }
+  const MigrationLedger& migration() const { return migration_; }
+  std::map<std::string, StashRoute> last_routes() const { return routes_; }
+
+ private:
+  struct Entry {
+    StashRoute route;
+    nn::EncodedActivation encoded;  // kCompress
+    tensor::Tensor raw;             // kRaw
+    std::vector<std::uint8_t> host; // kMigrate (simulated host buffer)
+    tensor::Shape shape;
+  };
+
+  std::shared_ptr<SzActivationCodec> codec_;
+  std::shared_ptr<RoutePolicy> policy_;
+  std::map<nn::StashHandle, Entry> entries_;
+  nn::StashHandle next_ = 1;
+  std::size_t device_bytes_ = 0;
+  std::size_t host_bytes_ = 0;
+  MigrationLedger migration_;
+  std::map<std::string, nn::StoreStats> stats_;
+  std::map<std::string, StashRoute> routes_;
+};
+
+}  // namespace ebct::core

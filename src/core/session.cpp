@@ -1,0 +1,112 @@
+#include "core/session.hpp"
+
+#include <numeric>
+
+namespace ebct::core {
+
+using tensor::Tensor;
+
+TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
+                                 SessionConfig cfg)
+    : net_(net), loader_(loader), cfg_(cfg), sgd_(cfg.sgd) {
+  if (cfg_.lr_step > 0) {
+    schedule_ = std::make_unique<nn::StepLr>(cfg_.base_lr, cfg_.lr_gamma, cfg_.lr_step);
+  } else {
+    schedule_ = std::make_unique<nn::ConstantLr>(cfg_.base_lr);
+  }
+
+  switch (cfg_.mode) {
+    case StoreMode::kBaseline:
+      raw_store_ = std::make_unique<nn::RawStore>();
+      net_.set_store(raw_store_.get());
+      break;
+    case StoreMode::kFramework: {
+      sz::Config sz_cfg;
+      sz_cfg.error_bound = cfg_.framework.bootstrap_error_bound;
+      sz_cfg.zero_mode = cfg_.framework.zero_mode;
+      codec_ = std::make_shared<SzActivationCodec>(sz_cfg);
+      codec_store_ = std::make_unique<nn::CodecStore>(codec_);
+      net_.set_store(codec_store_.get());
+      scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
+      break;
+    }
+    case StoreMode::kCustom:
+      break;  // caller installs via set_custom_store()
+  }
+}
+
+void TrainingSession::set_custom_store(nn::ActivationStore* store) {
+  cfg_.mode = StoreMode::kCustom;
+  net_.set_store(store);
+}
+
+void TrainingSession::run(std::size_t iterations,
+                          const std::function<void(const IterationRecord&)>& on_iteration) {
+  Tensor images;
+  std::vector<std::int32_t> labels;
+  for (std::size_t step = 0; step < iterations; ++step) {
+    loader_.next(images, labels);
+
+    Tensor logits = net_.forward(images, /*train=*/true);
+    const std::size_t held = net_.store().held_bytes();
+    const nn::LossResult lr = loss_.compute(logits, labels);
+    net_.backward(lr.grad_logits);
+
+    const double rate = schedule_->lr(iteration_);
+    auto params = net_.params();
+    sgd_.step(params, rate);
+
+    // Adaptive refresh every W iterations, after backward so the conv
+    // layers carry fresh L̄ / R and the momentum reflects this step.
+    if (scheme_ && scheme_->should_update(iteration_)) {
+      scheme_->update(net_, loader_.batch_size());
+    }
+
+    IterationRecord rec;
+    rec.iteration = iteration_;
+    rec.loss = lr.loss;
+    rec.train_accuracy = lr.accuracy;
+    rec.lr = rate;
+    rec.store_held_bytes = held;
+    if (codec_) {
+      const auto ratios = codec_->last_ratios();
+      if (!ratios.empty()) {
+        double acc = 0.0;
+        for (const auto& [k, v] : ratios) acc += v;
+        rec.mean_compression_ratio = acc / static_cast<double>(ratios.size());
+      }
+    }
+    history_.push_back(rec);
+    if (on_iteration) on_iteration(rec);
+    ++iteration_;
+  }
+}
+
+double TrainingSession::evaluate(data::DataLoader& eval_loader, std::size_t batches) {
+  Tensor images;
+  std::vector<std::int32_t> labels;
+  double correct = 0.0;
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    eval_loader.next(images, labels);
+    Tensor logits = net_.forward(images, /*train=*/false);
+    const std::size_t n = logits.shape().n();
+    const std::size_t k = logits.shape()[1];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* row = logits.data() + s * k;
+      std::size_t argmax = 0;
+      for (std::size_t j = 1; j < k; ++j)
+        if (row[j] > row[argmax]) argmax = j;
+      if (static_cast<std::int32_t>(argmax) == labels[s]) correct += 1.0;
+    }
+    total += n;
+    // The eval forward still stashed activations; drain them with a
+    // zero-gradient backward so the store does not leak across batches.
+    Tensor dummy_grad(logits.shape(), 0.0f);
+    net_.backward(dummy_grad);
+    net_.zero_grad();
+  }
+  return total ? correct / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace ebct::core

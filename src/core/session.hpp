@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file session.hpp
+/// End-to-end training session: wires a Network, DataLoader, SGD and one of
+/// the activation-store strategies together, running the full loop of
+/// Fig. 1 + Fig. 7. This is the public entry point a downstream user of the
+/// library calls; the benches and examples are thin wrappers over it.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/config.hpp"
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "nn/sgd.hpp"
+#include "nn/softmax_xent.hpp"
+
+namespace ebct::core {
+
+enum class StoreMode {
+  kBaseline,    ///< raw activations (stock framework)
+  kFramework,   ///< SZ compression + adaptive error-bound control
+  kCustom,      ///< caller-provided store (baselines, injection)
+};
+
+struct SessionConfig {
+  StoreMode mode = StoreMode::kFramework;
+  FrameworkConfig framework;
+  nn::SgdOptions sgd;
+  double base_lr = 0.01;
+  double lr_gamma = 0.1;                ///< step decay factor
+  std::size_t lr_step = 0;              ///< 0 = constant LR
+  std::uint64_t seed = 99;
+};
+
+/// One iteration's record for the Fig. 9/10 curves.
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double lr = 0.0;
+  double mean_compression_ratio = 0.0;  ///< over conv layers, 0 when raw
+  std::size_t store_held_bytes = 0;     ///< peak compressed stash this iter
+};
+
+class TrainingSession {
+ public:
+  TrainingSession(nn::Network& net, data::DataLoader& loader, SessionConfig cfg);
+
+  /// Install a custom store (sets mode kCustom).
+  void set_custom_store(nn::ActivationStore* store);
+
+  /// Run `iterations` steps; per-step records are appended to history().
+  /// `on_iteration` (optional) observes each record as it is produced.
+  void run(std::size_t iterations,
+           const std::function<void(const IterationRecord&)>& on_iteration = {});
+
+  /// Top-1 accuracy over `batches` batches of an evaluation loader.
+  double evaluate(data::DataLoader& eval_loader, std::size_t batches);
+
+  const std::vector<IterationRecord>& history() const { return history_; }
+  nn::Network& network() { return net_; }
+  AdaptiveScheme* scheme() { return scheme_ ? scheme_.get() : nullptr; }
+  SzActivationCodec* codec() { return codec_.get(); }
+  std::size_t iteration() const { return iteration_; }
+
+ private:
+  nn::Network& net_;
+  data::DataLoader& loader_;
+  SessionConfig cfg_;
+  nn::Sgd sgd_;
+  std::unique_ptr<nn::LrSchedule> schedule_;
+  nn::SoftmaxCrossEntropy loss_;
+
+  std::shared_ptr<SzActivationCodec> codec_;
+  std::unique_ptr<nn::CodecStore> codec_store_;
+  std::unique_ptr<nn::RawStore> raw_store_;
+  std::unique_ptr<AdaptiveScheme> scheme_;
+
+  std::vector<IterationRecord> history_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace ebct::core

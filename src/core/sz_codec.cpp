@@ -1,0 +1,54 @@
+#include "core/sz_codec.hpp"
+
+#include <cstring>
+
+namespace ebct::core {
+
+using nn::EncodedActivation;
+using tensor::Tensor;
+
+SzActivationCodec::SzActivationCodec(sz::Config base_config) : base_(base_config) {}
+
+void SzActivationCodec::set_layer_bound(const std::string& layer, double eb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bounds_[layer] = eb;
+}
+
+double SzActivationCodec::layer_bound(const std::string& layer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = bounds_.find(layer);
+  return it == bounds_.end() ? base_.error_bound : it->second;
+}
+
+std::map<std::string, double> SzActivationCodec::last_ratios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ratio_;
+}
+
+EncodedActivation SzActivationCodec::encode(const std::string& layer, const Tensor& act) {
+  sz::Config cfg = base_;
+  cfg.error_bound = layer_bound(layer);
+  sz::Compressor comp(cfg);
+  sz::CompressedBuffer buf = comp.compress(act.span());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ratio_[layer] = buf.compression_ratio();
+  }
+  EncodedActivation enc;
+  enc.layer = layer;
+  enc.shape = act.shape();
+  enc.bytes = std::move(buf.bytes);
+  return enc;
+}
+
+Tensor SzActivationCodec::decode(const EncodedActivation& enc) {
+  sz::CompressedBuffer buf;
+  buf.bytes = enc.bytes;  // copy: the store still owns its entry
+  buf.num_elements = enc.shape.numel();
+  sz::Compressor comp(base_);
+  Tensor out(enc.shape);
+  comp.decompress(buf, out.span());
+  return out;
+}
+
+}  // namespace ebct::core

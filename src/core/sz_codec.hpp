@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file sz_codec.hpp
+/// ActivationCodec backed by the SZ error-bounded compressor, with a
+/// per-layer absolute error bound that the adaptive scheme updates every W
+/// iterations (phase 4 of the framework, §4.4).
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "nn/activation_store.hpp"
+#include "sz/compressor.hpp"
+
+namespace ebct::core {
+
+class SzActivationCodec : public nn::ActivationCodec {
+ public:
+  explicit SzActivationCodec(sz::Config base_config);
+
+  nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
+  tensor::Tensor decode(const nn::EncodedActivation& enc) override;
+  std::string name() const override { return "sz-error-bounded"; }
+
+  /// Install the adaptive per-layer bound (phase 3 output).
+  void set_layer_bound(const std::string& layer, double eb);
+  double layer_bound(const std::string& layer) const;
+
+  /// Compression ratio of the most recent encode per layer.
+  std::map<std::string, double> last_ratios() const;
+
+  const sz::Config& base_config() const { return base_; }
+
+ private:
+  sz::Config base_;
+  mutable std::mutex mu_;
+  std::map<std::string, double> bounds_;
+  std::map<std::string, double> last_ratio_;
+};
+
+}  // namespace ebct::core

@@ -1,0 +1,125 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ebct::data {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  // 64-bit mix (splitmix-style) for per-sample seeding.
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+SyntheticImageDataset::SyntheticImageDataset(SyntheticSpec spec) : spec_(spec) {
+  if (spec_.num_classes == 0) throw std::invalid_argument("SyntheticImageDataset: 0 classes");
+  build_prototypes();
+}
+
+void SyntheticImageDataset::build_prototypes() {
+  const std::size_t hw = spec_.image_hw;
+  prototypes_.resize(spec_.num_classes);
+  for (std::size_t cls = 0; cls < spec_.num_classes; ++cls) {
+    Rng rng(mix(spec_.seed, cls));
+    auto& proto = prototypes_[cls];
+    proto.assign(spec_.channels * hw * hw, 0.0f);
+    // Low-frequency Fourier synthesis: 6 random gratings per channel.
+    for (std::size_t ch = 0; ch < spec_.channels; ++ch) {
+      const double channel_bias = rng.uniform(-0.5, 0.5);
+      for (int g = 0; g < 6; ++g) {
+        const double fx = rng.uniform(0.5, 4.0);
+        const double fy = rng.uniform(0.5, 4.0);
+        const double phase = rng.uniform(0.0, 2.0 * kPi);
+        const double amp = rng.uniform(0.2, 0.7) / (1.0 + 0.3 * g);
+        for (std::size_t y = 0; y < hw; ++y) {
+          for (std::size_t x = 0; x < hw; ++x) {
+            const double v = amp * std::cos(2.0 * kPi *
+                                                (fx * static_cast<double>(x) / hw +
+                                                 fy * static_cast<double>(y) / hw) +
+                                            phase);
+            proto[(ch * hw + y) * hw + x] += static_cast<float>(v);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < hw * hw; ++i)
+        proto[ch * hw * hw + i] += static_cast<float>(channel_bias);
+    }
+  }
+}
+
+std::int32_t SyntheticImageDataset::fill_sample(bool train_split, std::size_t index,
+                                                std::span<float> out) const {
+  const std::size_t per_class = train_split ? spec_.train_per_class : spec_.test_per_class;
+  const std::size_t total = spec_.num_classes * per_class;
+  if (index >= total) throw std::out_of_range("SyntheticImageDataset: sample index");
+  if (out.size() != sample_numel())
+    throw std::invalid_argument("SyntheticImageDataset: output span size");
+
+  const std::size_t cls = index / per_class;
+  const std::size_t inst = index % per_class;
+  Rng rng(mix(mix(spec_.seed, train_split ? 0x7a1 : 0x7e57), cls * 1000003 + inst));
+
+  const std::size_t hw = spec_.image_hw;
+  const auto max_shift = static_cast<std::size_t>(spec_.max_shift_frac * hw);
+  const std::size_t sx = max_shift ? rng.uniform_index(2 * max_shift + 1) : 0;
+  const std::size_t sy = max_shift ? rng.uniform_index(2 * max_shift + 1) : 0;
+  const double gain = rng.uniform(0.7, 1.3);
+
+  const auto& proto = prototypes_[cls];
+  for (std::size_t ch = 0; ch < spec_.channels; ++ch) {
+    for (std::size_t y = 0; y < hw; ++y) {
+      const std::size_t py = (y + sy) % hw;
+      for (std::size_t x = 0; x < hw; ++x) {
+        const std::size_t px = (x + sx) % hw;
+        const double v = gain * proto[(ch * hw + py) * hw + px] +
+                         rng.normal(0.0, spec_.noise_stddev);
+        out[(ch * hw + y) * hw + x] = static_cast<float>(v);
+      }
+    }
+  }
+  return static_cast<std::int32_t>(cls);
+}
+
+DataLoader::DataLoader(const SyntheticImageDataset& ds, std::size_t batch_size,
+                       bool train_split, bool shuffle, std::uint64_t seed)
+    : ds_(ds), batch_size_(batch_size), train_split_(train_split), shuffle_(shuffle),
+      rng_(seed) {
+  const std::size_t n = train_split ? ds.train_size() : ds.test_size();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  if (shuffle_) rng_.shuffle(std::span<std::uint32_t>(order_));
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return order_.size() / batch_size_;
+}
+
+void DataLoader::next(Tensor& images, std::vector<std::int32_t>& labels) {
+  const std::size_t hw = ds_.spec().image_hw;
+  const Shape want = Shape::nchw(batch_size_, ds_.spec().channels, hw, hw);
+  if (images.shape() != want) images = Tensor(want);
+  labels.resize(batch_size_);
+  const std::size_t stride = ds_.sample_numel();
+  for (std::size_t b = 0; b < batch_size_; ++b) {
+    if (cursor_ >= order_.size()) {
+      cursor_ = 0;
+      if (shuffle_) rng_.shuffle(std::span<std::uint32_t>(order_));
+    }
+    const std::size_t idx = order_[cursor_++];
+    labels[b] =
+        ds_.fill_sample(train_split_, idx, {images.data() + b * stride, stride});
+  }
+}
+
+}  // namespace ebct::data

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Deterministic procedural image-classification dataset — the offline
+/// substitute for ImageNet-2012 (see DESIGN.md). Each class owns a smooth
+/// random prototype texture (low-frequency Fourier synthesis); an instance
+/// is the prototype under random gain, circular shift and pixel noise. The
+/// task is non-trivial (instances overlap across classes through noise) yet
+/// learnable by small CNNs, producing realistic sparse post-ReLU activations
+/// and a falling loss curve.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ebct::data {
+
+struct SyntheticSpec {
+  std::size_t num_classes = 10;
+  std::size_t image_hw = 32;
+  std::size_t channels = 3;
+  std::size_t train_per_class = 256;
+  std::size_t test_per_class = 64;
+  double noise_stddev = 0.35;     ///< instance pixel noise
+  double max_shift_frac = 0.25;   ///< circular shift as a fraction of hw
+  std::uint64_t seed = 1234;
+};
+
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(SyntheticSpec spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+  std::size_t train_size() const { return spec_.num_classes * spec_.train_per_class; }
+  std::size_t test_size() const { return spec_.num_classes * spec_.test_per_class; }
+
+  /// Materialise sample `index` of the given split into `out` (CHW floats,
+  /// roughly zero-mean/unit-range); returns its label. Deterministic in
+  /// (seed, split, index).
+  std::int32_t fill_sample(bool train_split, std::size_t index, std::span<float> out) const;
+
+  std::size_t sample_numel() const {
+    return spec_.channels * spec_.image_hw * spec_.image_hw;
+  }
+
+ private:
+  void build_prototypes();
+
+  SyntheticSpec spec_;
+  // Per class: channels * hw * hw prototype.
+  std::vector<std::vector<float>> prototypes_;
+};
+
+/// Batches samples from a SyntheticImageDataset with optional shuffling.
+class DataLoader {
+ public:
+  DataLoader(const SyntheticImageDataset& ds, std::size_t batch_size, bool train_split,
+             bool shuffle, std::uint64_t seed = 7);
+
+  /// Number of full batches per epoch (remainder dropped, as is usual).
+  std::size_t batches_per_epoch() const;
+
+  /// Produce the next batch; wraps and reshuffles at epoch end.
+  void next(tensor::Tensor& images, std::vector<std::int32_t>& labels);
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const SyntheticImageDataset& ds_;
+  std::size_t batch_size_;
+  bool train_split_;
+  bool shuffle_;
+  tensor::Rng rng_;
+  std::vector<std::uint32_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ebct::data

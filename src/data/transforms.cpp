@@ -1,0 +1,62 @@
+#include "data/transforms.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace ebct::data {
+
+void random_hflip(std::span<float> chw, std::size_t channels, std::size_t hw,
+                  tensor::Rng& rng, double p) {
+  if (rng.uniform() >= p) return;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = chw.data() + c * hw * hw;
+    for (std::size_t y = 0; y < hw; ++y) {
+      float* row = plane + y * hw;
+      for (std::size_t x = 0; x < hw / 2; ++x) std::swap(row[x], row[hw - 1 - x]);
+    }
+  }
+}
+
+void random_pad_crop(std::span<float> chw, std::size_t channels, std::size_t hw,
+                     std::size_t pad, tensor::Rng& rng) {
+  if (pad == 0) return;
+  const std::size_t padded = hw + 2 * pad;
+  const std::size_t ox = rng.uniform_index(2 * pad + 1);
+  const std::size_t oy = rng.uniform_index(2 * pad + 1);
+  std::vector<float> buf(padded * padded, 0.0f);
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = chw.data() + c * hw * hw;
+    for (std::size_t y = 0; y < hw; ++y) {
+      for (std::size_t x = 0; x < hw; ++x) {
+        buf[(y + pad) * padded + (x + pad)] = plane[y * hw + x];
+      }
+    }
+    for (std::size_t y = 0; y < hw; ++y) {
+      for (std::size_t x = 0; x < hw; ++x) {
+        plane[y * hw + x] = buf[(y + oy) * padded + (x + ox)];
+      }
+    }
+    // Clear the scratch for the next channel (crop may read padded zeros).
+    std::fill(buf.begin(), buf.end(), 0.0f);
+  }
+}
+
+void per_channel_standardize(std::span<float> chw, std::size_t channels, std::size_t hw) {
+  const std::size_t n = hw * hw;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = chw.data() + c * n;
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += plane[i];
+      sq += static_cast<double>(plane[i]) * plane[i];
+    }
+    const double mean = sum / static_cast<double>(n);
+    double var = sq / static_cast<double>(n) - mean * mean;
+    if (var < 1e-12) var = 1e-12;
+    const float inv = static_cast<float>(1.0 / std::sqrt(var));
+    for (std::size_t i = 0; i < n; ++i)
+      plane[i] = static_cast<float>((plane[i] - mean) * inv);
+  }
+}
+
+}  // namespace ebct::data

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file transforms.hpp
+/// Training-time data augmentation: random crop with zero padding and
+/// horizontal flip — the standard ImageNet/CIFAR pipeline the paper's
+/// training recipes rely on. Applied in-place on a CHW sample.
+
+#include <span>
+
+#include "tensor/rng.hpp"
+
+namespace ebct::data {
+
+/// Flip a CHW image horizontally with probability p.
+void random_hflip(std::span<float> chw, std::size_t channels, std::size_t hw,
+                  tensor::Rng& rng, double p = 0.5);
+
+/// Pad by `pad` zeros on each side, then crop a random hw x hw window
+/// (the CIFAR "pad-and-crop" augmentation).
+void random_pad_crop(std::span<float> chw, std::size_t channels, std::size_t hw,
+                     std::size_t pad, tensor::Rng& rng);
+
+/// Normalise each channel to zero mean / unit variance in place.
+void per_channel_standardize(std::span<float> chw, std::size_t channels, std::size_t hw);
+
+}  // namespace ebct::data

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file report.hpp
+/// Minimal fixed-width table printer shared by the bench binaries so every
+/// figure/table reproduction prints in a uniform, diffable format.
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ebct::memory {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.size() && i < width.size(); ++i)
+        width[i] = std::max(width[i], r[i].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::fputs("| ", out);
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string();
+        std::fprintf(out, "%-*s | ", static_cast<int>(width[i]), c.c_str());
+      }
+      std::fputc('\n', out);
+    };
+    line(headers_);
+    std::fputs("|", out);
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (std::size_t k = 0; k < width[i] + 2; ++k) std::fputc('-', out);
+      std::fputs("|", out);
+    }
+    std::fputc('\n', out);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string.
+inline std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, f);
+  std::vsnprintf(buf, sizeof(buf), f, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace ebct::memory

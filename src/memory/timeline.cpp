@@ -1,0 +1,91 @@
+#include "memory/timeline.hpp"
+
+#include <algorithm>
+
+namespace ebct::memory {
+
+using tensor::Shape;
+
+TimelineResult simulate_iteration(nn::Network& net, const Shape& input,
+                                  double activation_ratio) {
+  TimelineResult r;
+  std::size_t fixed = 0;
+  for (nn::Param* p : net.params())
+    fixed += p->value.bytes() + p->grad.bytes() + p->momentum.bytes();
+
+  std::size_t live = fixed;
+  auto emit = [&](const std::string& label, std::ptrdiff_t delta) {
+    live = static_cast<std::size_t>(static_cast<std::ptrdiff_t>(live) + delta);
+    r.events.push_back({label, delta, live});
+    if (live > r.peak_bytes) {
+      r.peak_bytes = live;
+      r.peak_event_index = r.events.size() - 1;
+    }
+  };
+  emit("weights+optimizer", static_cast<std::ptrdiff_t>(fixed));
+
+  // Forward: each layer allocates its output, stashes (compressed) its
+  // input when it uses the store, then the previous feature map dies.
+  struct StashRec {
+    std::string layer;
+    std::ptrdiff_t bytes;
+  };
+  std::vector<StashRec> stashes;
+  Shape s = input;
+  std::size_t prev_feature = input.numel() * sizeof(float);
+  emit("input batch", static_cast<std::ptrdiff_t>(prev_feature));
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    nn::Layer& l = net.layer(i);
+    const std::size_t stash_raw = l.activation_bytes(s);
+    s = l.output_shape(s);
+    const std::size_t out_bytes = s.numel() * sizeof(float);
+    emit(l.name() + ".out", static_cast<std::ptrdiff_t>(out_bytes));
+    if (stash_raw > 0) {
+      const auto stash =
+          static_cast<std::ptrdiff_t>(static_cast<double>(stash_raw) /
+                                      std::max(1.0, activation_ratio));
+      emit(l.name() + ".stash", stash);
+      stashes.push_back({l.name(), stash});
+    }
+    emit(l.name() + ".free_prev", -static_cast<std::ptrdiff_t>(prev_feature));
+    prev_feature = out_bytes;
+  }
+
+  // Backward: gradient tensor mirrors the feature map; stashes are consumed
+  // LIFO; each consumed stash briefly materialises its raw decompressed form.
+  std::size_t grad_bytes = prev_feature;
+  emit("loss.grad", static_cast<std::ptrdiff_t>(grad_bytes));
+  Shape in_s = input;
+  std::vector<std::size_t> layer_in_bytes(net.num_layers());
+  std::vector<std::size_t> layer_stash_raw(net.num_layers());
+  {
+    Shape t = input;
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      layer_in_bytes[i] = t.numel() * sizeof(float);
+      layer_stash_raw[i] = net.layer(i).activation_bytes(t);
+      t = net.layer(i).output_shape(t);
+    }
+  }
+  (void)in_s;
+  for (std::size_t i = net.num_layers(); i > 0; --i) {
+    nn::Layer& l = net.layer(i - 1);
+    if (layer_stash_raw[i - 1] > 0 && !stashes.empty()) {
+      // Decompress (raw copy appears), compute, then stash + raw copy die.
+      emit(l.name() + ".decompress",
+           static_cast<std::ptrdiff_t>(layer_stash_raw[i - 1]));
+      const StashRec rec = stashes.back();
+      stashes.pop_back();
+      emit(l.name() + ".free_stash", -rec.bytes);
+      emit(l.name() + ".free_decompressed",
+           -static_cast<std::ptrdiff_t>(layer_stash_raw[i - 1]));
+    }
+    const std::size_t gin = layer_in_bytes[i - 1];
+    emit(l.name() + ".grad_in", static_cast<std::ptrdiff_t>(gin));
+    emit(l.name() + ".free_grad_out", -static_cast<std::ptrdiff_t>(grad_bytes));
+    grad_bytes = gin;
+  }
+  emit("free_input_grad", -static_cast<std::ptrdiff_t>(grad_bytes));
+  return r;
+}
+
+}  // namespace ebct::memory

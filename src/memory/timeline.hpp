@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Event-level activation-lifetime simulation: replays one training
+/// iteration as a sequence of (alloc, free) events — forward allocates each
+/// layer's output and stashes, backward frees stashes in LIFO order — and
+/// reports the exact peak, not just the sum. This refines the static
+/// estimate in accounting.hpp: summation over-counts when early stashes die
+/// before late feature maps peak; the timeline resolves the true high-water
+/// mark the way a real allocator would see it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace ebct::memory {
+
+struct TimelineEvent {
+  std::string label;
+  std::ptrdiff_t delta_bytes = 0;  ///< positive = alloc, negative = free
+  std::size_t live_after = 0;      ///< live bytes after this event
+};
+
+struct TimelineResult {
+  std::vector<TimelineEvent> events;
+  std::size_t peak_bytes = 0;
+  std::size_t peak_event_index = 0;
+
+  /// Position of the peak in the iteration (0 = start of forward,
+  /// 1 = end of backward).
+  double peak_position() const {
+    return events.empty() ? 0.0
+                          : static_cast<double>(peak_event_index) /
+                                static_cast<double>(events.size());
+  }
+};
+
+/// Simulate one iteration of `net` at the given input shape. Stashes are
+/// scaled by 1/activation_ratio (compression). Weight/optimizer bytes are a
+/// constant floor added to every event.
+TimelineResult simulate_iteration(nn::Network& net, const tensor::Shape& input,
+                                  double activation_ratio = 1.0);
+
+}  // namespace ebct::memory

@@ -1,0 +1,296 @@
+// Inception-V4 (Szegedy et al., AAAI'17) — the paper's motivating example:
+// "training Inception-V4 with batch size 32 on ImageNet-2012 requires more
+// than 40 GB of memory" (§1). Faithful at 299px: stem with dual-branch
+// concatenations, Inception-A/B/C blocks with 1x7/7x1 factorised
+// convolutions, reduction blocks, global average pooling. Every conv is
+// conv -> BN -> ReLU as in the published network. Below 128px the stem is
+// reduced (stride-1, no reductions lost to tiny spatial sizes).
+
+#include "models/model_zoo.hpp"
+
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/simple_layers.hpp"
+
+namespace ebct::models {
+
+using nn::AvgPool;
+using nn::BatchNorm;
+using nn::ConcatBranches;
+using nn::Conv2d;
+using nn::Conv2dSpec;
+using nn::Dropout;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Layer;
+using nn::Linear;
+using nn::MaxPool;
+using nn::Network;
+using nn::PoolSpec;
+using nn::ReLU;
+using tensor::Rng;
+using tensor::Shape;
+
+namespace {
+
+using Seq = std::vector<std::unique_ptr<Layer>>;
+
+std::size_t scaled(std::size_t channels, double mult) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(channels * mult + 0.5));
+}
+
+/// conv -> BN -> ReLU, the Inception-V4 unit. kh x kw kernel, given stride,
+/// pad chosen as "same" (k/2) unless valid is requested.
+void conv_bn(Seq& seq, const std::string& name, std::size_t in, std::size_t out,
+             std::size_t kh, std::size_t kw, std::size_t stride, bool valid, Rng& rng) {
+  Conv2dSpec spec;
+  spec.in_channels = in;
+  spec.out_channels = out;
+  spec.kernel = kh;
+  spec.kernel_w = kw;
+  spec.stride = stride;
+  spec.pad = valid ? 0 : kh / 2;
+  spec.pad_w = valid ? 0 : kw / 2;
+  spec.bias = false;
+  seq.push_back(std::make_unique<Conv2d>(name, spec, rng));
+  seq.push_back(std::make_unique<BatchNorm>(name + ".bn", out));
+  seq.push_back(std::make_unique<ReLU>(name + ".relu"));
+}
+
+Seq seq_conv_bn(const std::string& name, std::size_t in, std::size_t out, std::size_t kh,
+                std::size_t kw, std::size_t stride, bool valid, Rng& rng) {
+  Seq s;
+  conv_bn(s, name, in, out, kh, kw, stride, valid, rng);
+  return s;
+}
+
+/// Inception-A: 35x35 grid module; output channels 4 x 96.
+std::unique_ptr<Layer> inception_a(const std::string& name, std::size_t in, double m,
+                                   Rng& rng) {
+  std::vector<Seq> branches;
+  branches.push_back(seq_conv_bn(name + ".b0", in, scaled(96, m), 1, 1, 1, false, rng));
+  {
+    Seq b;
+    conv_bn(b, name + ".b1a", in, scaled(64, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b1b", scaled(64, m), scaled(96, m), 3, 3, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    conv_bn(b, name + ".b2a", in, scaled(64, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b2b", scaled(64, m), scaled(96, m), 3, 3, 1, false, rng);
+    conv_bn(b, name + ".b2c", scaled(96, m), scaled(96, m), 3, 3, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    b.push_back(std::make_unique<AvgPool>(name + ".b3pool", PoolSpec{3, 1, 1}));
+    conv_bn(b, name + ".b3", in, scaled(96, m), 1, 1, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<ConcatBranches>(name, std::move(branches));
+}
+
+/// Reduction-A: 35 -> 17, output 1024 (at m=1, in=384).
+std::unique_ptr<Layer> reduction_a(const std::string& name, std::size_t in, double m,
+                                   Rng& rng) {
+  std::vector<Seq> branches;
+  branches.push_back(seq_conv_bn(name + ".b0", in, scaled(384, m), 3, 3, 2, true, rng));
+  {
+    Seq b;
+    conv_bn(b, name + ".b1a", in, scaled(192, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b1b", scaled(192, m), scaled(224, m), 3, 3, 1, false, rng);
+    conv_bn(b, name + ".b1c", scaled(224, m), scaled(256, m), 3, 3, 2, true, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    b.push_back(std::make_unique<MaxPool>(name + ".b2pool", PoolSpec{3, 2, 0}));
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<ConcatBranches>(name, std::move(branches));
+}
+
+/// Inception-B: 17x17 module with 1x7 / 7x1 factorisation; output 1024.
+std::unique_ptr<Layer> inception_b(const std::string& name, std::size_t in, double m,
+                                   Rng& rng) {
+  std::vector<Seq> branches;
+  branches.push_back(seq_conv_bn(name + ".b0", in, scaled(384, m), 1, 1, 1, false, rng));
+  {
+    Seq b;
+    conv_bn(b, name + ".b1a", in, scaled(192, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b1b", scaled(192, m), scaled(224, m), 1, 7, 1, false, rng);
+    conv_bn(b, name + ".b1c", scaled(224, m), scaled(256, m), 7, 1, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    conv_bn(b, name + ".b2a", in, scaled(192, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b2b", scaled(192, m), scaled(192, m), 7, 1, 1, false, rng);
+    conv_bn(b, name + ".b2c", scaled(192, m), scaled(224, m), 1, 7, 1, false, rng);
+    conv_bn(b, name + ".b2d", scaled(224, m), scaled(224, m), 7, 1, 1, false, rng);
+    conv_bn(b, name + ".b2e", scaled(224, m), scaled(256, m), 1, 7, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    b.push_back(std::make_unique<AvgPool>(name + ".b3pool", PoolSpec{3, 1, 1}));
+    conv_bn(b, name + ".b3", in, scaled(128, m), 1, 1, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<ConcatBranches>(name, std::move(branches));
+}
+
+/// Reduction-B: 17 -> 8, output 1536.
+std::unique_ptr<Layer> reduction_b(const std::string& name, std::size_t in, double m,
+                                   Rng& rng) {
+  std::vector<Seq> branches;
+  {
+    Seq b;
+    conv_bn(b, name + ".b0a", in, scaled(192, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b0b", scaled(192, m), scaled(192, m), 3, 3, 2, true, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    conv_bn(b, name + ".b1a", in, scaled(256, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b1b", scaled(256, m), scaled(256, m), 1, 7, 1, false, rng);
+    conv_bn(b, name + ".b1c", scaled(256, m), scaled(320, m), 7, 1, 1, false, rng);
+    conv_bn(b, name + ".b1d", scaled(320, m), scaled(320, m), 3, 3, 2, true, rng);
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    b.push_back(std::make_unique<MaxPool>(name + ".b2pool", PoolSpec{3, 2, 0}));
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<ConcatBranches>(name, std::move(branches));
+}
+
+/// Inception-C: 8x8 module with nested 1x3/3x1 splits; output 1536.
+std::unique_ptr<Layer> inception_c(const std::string& name, std::size_t in, double m,
+                                   Rng& rng) {
+  std::vector<Seq> branches;
+  branches.push_back(seq_conv_bn(name + ".b0", in, scaled(256, m), 1, 1, 1, false, rng));
+  {
+    // 1x1 -> {1x3, 3x1} nested concat.
+    Seq b;
+    conv_bn(b, name + ".b1a", in, scaled(384, m), 1, 1, 1, false, rng);
+    std::vector<Seq> split;
+    split.push_back(
+        seq_conv_bn(name + ".b1s0", scaled(384, m), scaled(256, m), 1, 3, 1, false, rng));
+    split.push_back(
+        seq_conv_bn(name + ".b1s1", scaled(384, m), scaled(256, m), 3, 1, 1, false, rng));
+    b.push_back(std::make_unique<ConcatBranches>(name + ".b1split", std::move(split)));
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    conv_bn(b, name + ".b2a", in, scaled(384, m), 1, 1, 1, false, rng);
+    conv_bn(b, name + ".b2b", scaled(384, m), scaled(448, m), 1, 3, 1, false, rng);
+    conv_bn(b, name + ".b2c", scaled(448, m), scaled(512, m), 3, 1, 1, false, rng);
+    std::vector<Seq> split;
+    split.push_back(
+        seq_conv_bn(name + ".b2s0", scaled(512, m), scaled(256, m), 1, 3, 1, false, rng));
+    split.push_back(
+        seq_conv_bn(name + ".b2s1", scaled(512, m), scaled(256, m), 3, 1, 1, false, rng));
+    b.push_back(std::make_unique<ConcatBranches>(name + ".b2split", std::move(split)));
+    branches.push_back(std::move(b));
+  }
+  {
+    Seq b;
+    b.push_back(std::make_unique<AvgPool>(name + ".b3pool", PoolSpec{3, 1, 1}));
+    conv_bn(b, name + ".b3", in, scaled(256, m), 1, 1, 1, false, rng);
+    branches.push_back(std::move(b));
+  }
+  return std::make_unique<ConcatBranches>(name, std::move(branches));
+}
+
+}  // namespace
+
+std::unique_ptr<Network> make_inception_v4(const ModelConfig& cfg) {
+  auto net = std::make_unique<Network>("Inception-V4");
+  Rng rng(cfg.seed);
+  const double m = cfg.width_multiplier;
+  const bool full = cfg.input_hw >= 128;
+  Shape shape = Shape::nchw(1, 3, cfg.input_hw, cfg.input_hw);
+
+  auto add = [&](std::unique_ptr<Layer> l) -> Layer& {
+    shape = l->output_shape(shape);
+    return net->add(std::move(l));
+  };
+
+  if (full) {
+    // --- Stem (299 -> 35x35x384 at m=1). ------------------------------------
+    Seq s1;
+    conv_bn(s1, "stem.c1", 3, scaled(32, m), 3, 3, 2, true, rng);
+    conv_bn(s1, "stem.c2", scaled(32, m), scaled(32, m), 3, 3, 1, true, rng);
+    conv_bn(s1, "stem.c3", scaled(32, m), scaled(64, m), 3, 3, 1, false, rng);
+    for (auto& l : s1) add(std::move(l));
+
+    {
+      std::vector<Seq> br;
+      Seq pool;
+      pool.push_back(std::make_unique<MaxPool>("stem.s1pool", PoolSpec{3, 2, 0}));
+      br.push_back(std::move(pool));
+      br.push_back(seq_conv_bn("stem.s1conv", scaled(64, m), scaled(96, m), 3, 3, 2,
+                               true, rng));
+      add(std::make_unique<ConcatBranches>("stem.split1", std::move(br)));
+    }
+    {
+      const std::size_t in = shape.c();
+      std::vector<Seq> br;
+      Seq a;
+      conv_bn(a, "stem.s2a1", in, scaled(64, m), 1, 1, 1, false, rng);
+      conv_bn(a, "stem.s2a2", scaled(64, m), scaled(96, m), 3, 3, 1, true, rng);
+      br.push_back(std::move(a));
+      Seq b;
+      conv_bn(b, "stem.s2b1", in, scaled(64, m), 1, 1, 1, false, rng);
+      conv_bn(b, "stem.s2b2", scaled(64, m), scaled(64, m), 7, 1, 1, false, rng);
+      conv_bn(b, "stem.s2b3", scaled(64, m), scaled(64, m), 1, 7, 1, false, rng);
+      conv_bn(b, "stem.s2b4", scaled(64, m), scaled(96, m), 3, 3, 1, true, rng);
+      br.push_back(std::move(b));
+      add(std::make_unique<ConcatBranches>("stem.split2", std::move(br)));
+    }
+    {
+      const std::size_t in = shape.c();
+      std::vector<Seq> br;
+      br.push_back(seq_conv_bn("stem.s3conv", in, scaled(192, m), 3, 3, 2, true, rng));
+      Seq pool;
+      pool.push_back(std::make_unique<MaxPool>("stem.s3pool", PoolSpec{3, 2, 0}));
+      br.push_back(std::move(pool));
+      add(std::make_unique<ConcatBranches>("stem.split3", std::move(br)));
+    }
+  } else {
+    // Reduced stem for CPU-scale inputs.
+    Seq s;
+    conv_bn(s, "stem.c1", 3, scaled(96, m), 3, 3, 1, false, rng);
+    for (auto& l : s) add(std::move(l));
+  }
+
+  const std::size_t a_blocks = full ? 4 : 2;
+  const std::size_t b_blocks = full ? 7 : 2;
+  const std::size_t c_blocks = full ? 3 : 1;
+
+  for (std::size_t i = 0; i < a_blocks; ++i)
+    add(inception_a("a" + std::to_string(i + 1), shape.c(), m, rng));
+  add(reduction_a("reduce_a", shape.c(), m, rng));
+  for (std::size_t i = 0; i < b_blocks; ++i)
+    add(inception_b("b" + std::to_string(i + 1), shape.c(), m, rng));
+  add(reduction_b("reduce_b", shape.c(), m, rng));
+  for (std::size_t i = 0; i < c_blocks; ++i)
+    add(inception_c("c" + std::to_string(i + 1), shape.c(), m, rng));
+
+  add(std::make_unique<GlobalAvgPool>("gap"));
+  add(std::make_unique<Flatten>("flatten"));
+  add(std::make_unique<Dropout>("dropout", 1.0 - 0.8, cfg.seed + 9));
+  add(std::make_unique<Linear>("fc", shape.numel(), cfg.num_classes, rng));
+  return net;
+}
+
+}  // namespace ebct::models

@@ -1,0 +1,252 @@
+#include "models/model_zoo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/lrn.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual.hpp"
+#include "nn/simple_layers.hpp"
+
+namespace ebct::models {
+
+using nn::AvgPool;
+using nn::BatchNorm;
+using nn::Conv2d;
+using nn::Conv2dSpec;
+using nn::Dropout;
+using nn::Flatten;
+using nn::GlobalAvgPool;
+using nn::Linear;
+using nn::Lrn;
+using nn::LrnSpec;
+using nn::MaxPool;
+using nn::Network;
+using nn::PoolSpec;
+using nn::ReLU;
+using nn::ResidualBlock;
+using tensor::Rng;
+using tensor::Shape;
+
+namespace {
+
+std::size_t scaled(std::size_t channels, double mult) {
+  return std::max<std::size_t>(1, static_cast<std::size_t>(channels * mult + 0.5));
+}
+
+/// Track the running shape while appending layers so classifier sizes can be
+/// derived without a forward pass.
+struct BuildCursor {
+  Network& net;
+  Shape shape;
+
+  nn::Layer& add(std::unique_ptr<nn::Layer> l) {
+    shape = l->output_shape(shape);
+    return net.add(std::move(l));
+  }
+};
+
+std::unique_ptr<nn::Layer> conv(const std::string& name, std::size_t in, std::size_t out,
+                                std::size_t k, std::size_t s, std::size_t p, Rng& rng) {
+  return std::make_unique<Conv2d>(name, Conv2dSpec{in, out, k, s, p, /*bias=*/true}, rng);
+}
+
+std::unique_ptr<nn::Layer> conv_nobias(const std::string& name, std::size_t in,
+                                       std::size_t out, std::size_t k, std::size_t s,
+                                       std::size_t p, Rng& rng) {
+  return std::make_unique<Conv2d>(name, Conv2dSpec{in, out, k, s, p, /*bias=*/false}, rng);
+}
+
+}  // namespace
+
+std::unique_ptr<Network> make_alexnet(const ModelConfig& cfg) {
+  auto net = std::make_unique<Network>("AlexNet");
+  Rng rng(cfg.seed);
+  const double m = cfg.width_multiplier;
+  BuildCursor c{*net, Shape::nchw(1, 3, cfg.input_hw, cfg.input_hw)};
+  const bool full = cfg.input_hw >= 128;
+
+  if (full) {
+    c.add(conv("conv1", 3, scaled(96, m), 11, 4, 2, rng));
+  } else {
+    c.add(conv("conv1", 3, scaled(96, m), 3, 1, 1, rng));
+  }
+  c.add(std::make_unique<ReLU>("relu1"));
+  c.add(std::make_unique<Lrn>("lrn1", LrnSpec{}));
+  c.add(std::make_unique<MaxPool>("pool1", PoolSpec{3, 2, 0}));
+
+  c.add(conv("conv2", scaled(96, m), scaled(256, m), 5, 1, 2, rng));
+  c.add(std::make_unique<ReLU>("relu2"));
+  c.add(std::make_unique<Lrn>("lrn2", LrnSpec{}));
+  c.add(std::make_unique<MaxPool>("pool2", PoolSpec{3, 2, 0}));
+
+  c.add(conv("conv3", scaled(256, m), scaled(384, m), 3, 1, 1, rng));
+  c.add(std::make_unique<ReLU>("relu3"));
+  c.add(conv("conv4", scaled(384, m), scaled(384, m), 3, 1, 1, rng));
+  c.add(std::make_unique<ReLU>("relu4"));
+  c.add(conv("conv5", scaled(384, m), scaled(256, m), 3, 1, 1, rng));
+  c.add(std::make_unique<ReLU>("relu5"));
+  if (c.shape.h() >= 3) c.add(std::make_unique<MaxPool>("pool5", PoolSpec{3, 2, 0}));
+
+  c.add(std::make_unique<Flatten>("flatten"));
+  const std::size_t feat = c.shape[1];
+  const std::size_t fc_dim = full ? scaled(4096, m) : scaled(512, m);
+  c.add(std::make_unique<Linear>("fc6", feat, fc_dim, rng));
+  c.add(std::make_unique<ReLU>("relu6"));
+  c.add(std::make_unique<Dropout>("drop6", cfg.dropout, cfg.seed + 1));
+  c.add(std::make_unique<Linear>("fc7", fc_dim, fc_dim, rng));
+  c.add(std::make_unique<ReLU>("relu7"));
+  c.add(std::make_unique<Dropout>("drop7", cfg.dropout, cfg.seed + 2));
+  c.add(std::make_unique<Linear>("fc8", fc_dim, cfg.num_classes, rng));
+  return net;
+}
+
+std::unique_ptr<Network> make_vgg16(const ModelConfig& cfg) {
+  auto net = std::make_unique<Network>("VGG-16");
+  Rng rng(cfg.seed);
+  const double m = cfg.width_multiplier;
+  BuildCursor c{*net, Shape::nchw(1, 3, cfg.input_hw, cfg.input_hw)};
+
+  const std::vector<std::vector<std::size_t>> blocks = {
+      {64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}};
+  std::size_t in = 3;
+  int conv_id = 1;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::size_t ch : blocks[b]) {
+      const std::size_t out = scaled(ch, m);
+      c.add(conv("conv" + std::to_string(conv_id), in, out, 3, 1, 1, rng));
+      c.add(std::make_unique<ReLU>("relu" + std::to_string(conv_id)));
+      in = out;
+      ++conv_id;
+    }
+    if (c.shape.h() >= 2) {
+      c.add(std::make_unique<MaxPool>("pool" + std::to_string(b + 1), PoolSpec{2, 2, 0}));
+    }
+  }
+  c.add(std::make_unique<Flatten>("flatten"));
+  const std::size_t feat = c.shape[1];
+  const bool full = cfg.input_hw >= 128;
+  const std::size_t fc_dim = full ? scaled(4096, m) : scaled(512, m);
+  c.add(std::make_unique<Linear>("fc1", feat, fc_dim, rng));
+  c.add(std::make_unique<ReLU>("fc_relu1"));
+  c.add(std::make_unique<Dropout>("fc_drop1", cfg.dropout, cfg.seed + 1));
+  c.add(std::make_unique<Linear>("fc2", fc_dim, fc_dim, rng));
+  c.add(std::make_unique<ReLU>("fc_relu2"));
+  c.add(std::make_unique<Dropout>("fc_drop2", cfg.dropout, cfg.seed + 2));
+  c.add(std::make_unique<Linear>("fc3", fc_dim, cfg.num_classes, rng));
+  return net;
+}
+
+namespace {
+
+/// BasicBlock (ResNet-18/34): 3x3 conv -> BN -> ReLU -> 3x3 conv -> BN,
+/// projection shortcut on stride/channel change.
+std::unique_ptr<nn::Layer> basic_block(const std::string& name, std::size_t in,
+                                       std::size_t out, std::size_t stride, Rng& rng) {
+  std::vector<std::unique_ptr<nn::Layer>> main;
+  main.push_back(conv_nobias(name + ".conv1", in, out, 3, stride, 1, rng));
+  main.push_back(std::make_unique<BatchNorm>(name + ".bn1", out));
+  main.push_back(std::make_unique<ReLU>(name + ".relu1"));
+  main.push_back(conv_nobias(name + ".conv2", out, out, 3, 1, 1, rng));
+  main.push_back(std::make_unique<BatchNorm>(name + ".bn2", out));
+
+  std::vector<std::unique_ptr<nn::Layer>> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut.push_back(conv_nobias(name + ".down", in, out, 1, stride, 0, rng));
+    shortcut.push_back(std::make_unique<BatchNorm>(name + ".down_bn", out));
+  }
+  return std::make_unique<ResidualBlock>(name, std::move(main), std::move(shortcut));
+}
+
+/// Bottleneck (ResNet-50+): 1x1 reduce -> 3x3 -> 1x1 expand (x4).
+std::unique_ptr<nn::Layer> bottleneck_block(const std::string& name, std::size_t in,
+                                            std::size_t mid, std::size_t stride, Rng& rng) {
+  const std::size_t out = mid * 4;
+  std::vector<std::unique_ptr<nn::Layer>> main;
+  main.push_back(conv_nobias(name + ".conv1", in, mid, 1, 1, 0, rng));
+  main.push_back(std::make_unique<BatchNorm>(name + ".bn1", mid));
+  main.push_back(std::make_unique<ReLU>(name + ".relu1"));
+  main.push_back(conv_nobias(name + ".conv2", mid, mid, 3, stride, 1, rng));
+  main.push_back(std::make_unique<BatchNorm>(name + ".bn2", mid));
+  main.push_back(std::make_unique<ReLU>(name + ".relu2"));
+  main.push_back(conv_nobias(name + ".conv3", mid, out, 1, 1, 0, rng));
+  main.push_back(std::make_unique<BatchNorm>(name + ".bn3", out));
+
+  std::vector<std::unique_ptr<nn::Layer>> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut.push_back(conv_nobias(name + ".down", in, out, 1, stride, 0, rng));
+    shortcut.push_back(std::make_unique<BatchNorm>(name + ".down_bn", out));
+  }
+  return std::make_unique<ResidualBlock>(name, std::move(main), std::move(shortcut));
+}
+
+std::unique_ptr<Network> make_resnet(const ModelConfig& cfg, bool bottleneck,
+                                     const std::vector<std::size_t>& stage_blocks,
+                                     const std::string& name) {
+  auto net = std::make_unique<Network>(name);
+  Rng rng(cfg.seed);
+  const double m = cfg.width_multiplier;
+  BuildCursor c{*net, Shape::nchw(1, 3, cfg.input_hw, cfg.input_hw)};
+  const bool full = cfg.input_hw >= 128;
+
+  const std::size_t base = scaled(64, m);
+  if (full) {
+    c.add(conv_nobias("stem.conv", 3, base, 7, 2, 3, rng));
+    c.add(std::make_unique<BatchNorm>("stem.bn", base));
+    c.add(std::make_unique<ReLU>("stem.relu"));
+    c.add(std::make_unique<MaxPool>("stem.pool", PoolSpec{3, 2, 1}));
+  } else {
+    c.add(conv_nobias("stem.conv", 3, base, 3, 1, 1, rng));
+    c.add(std::make_unique<BatchNorm>("stem.bn", base));
+    c.add(std::make_unique<ReLU>("stem.relu"));
+  }
+
+  std::size_t in = base;
+  for (std::size_t stage = 0; stage < stage_blocks.size(); ++stage) {
+    const std::size_t mid = scaled(64u << stage, m);
+    for (std::size_t blk = 0; blk < stage_blocks[stage]; ++blk) {
+      const std::size_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+      const std::string bname =
+          "stage" + std::to_string(stage + 1) + ".block" + std::to_string(blk + 1);
+      if (bottleneck) {
+        c.add(bottleneck_block(bname, in, mid, stride, rng));
+        in = mid * 4;
+      } else {
+        c.add(basic_block(bname, in, mid, stride, rng));
+        in = mid;
+      }
+    }
+  }
+  c.add(std::make_unique<GlobalAvgPool>("gap"));
+  c.add(std::make_unique<Flatten>("flatten"));
+  c.add(std::make_unique<Linear>("fc", in, cfg.num_classes, rng));
+  return net;
+}
+
+}  // namespace
+
+std::unique_ptr<Network> make_resnet18(const ModelConfig& cfg) {
+  return make_resnet(cfg, /*bottleneck=*/false, {2, 2, 2, 2}, "ResNet-18");
+}
+
+std::unique_ptr<Network> make_resnet50(const ModelConfig& cfg) {
+  return make_resnet(cfg, /*bottleneck=*/true, {3, 4, 6, 3}, "ResNet-50");
+}
+
+std::vector<std::string> model_names() {
+  return {"AlexNet", "VGG-16", "ResNet-18", "ResNet-50"};
+}
+
+ModelBuilder find_model(const std::string& name) {
+  if (name == "AlexNet") return make_alexnet;
+  if (name == "VGG-16") return make_vgg16;
+  if (name == "ResNet-18") return make_resnet18;
+  if (name == "ResNet-50") return make_resnet50;
+  if (name == "Inception-V4") return make_inception_v4;
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+}  // namespace ebct::models

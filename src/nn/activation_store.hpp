@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file activation_store.hpp
+/// Strategy interface for stashing forward-pass activations until the
+/// backward pass needs them. This is the seam the paper's framework plugs
+/// into: the baseline keeps raw tensors, the framework keeps SZ-compressed
+/// bytes, and the comparison baselines (lossless, JPEG-ACT) keep their own
+/// encodings — all behind the same stash/retrieve contract, so every memory
+/// strategy runs through identical training code.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ebct::nn {
+
+/// Opaque ticket for a stashed activation.
+using StashHandle = std::uint64_t;
+
+/// Per-layer compression bookkeeping, aggregated across an iteration.
+struct StoreStats {
+  std::size_t stashed_tensors = 0;
+  std::size_t original_bytes = 0;
+  std::size_t stored_bytes = 0;
+  double compression_ratio() const {
+    return stored_bytes == 0 ? 0.0
+                             : static_cast<double>(original_bytes) /
+                                   static_cast<double>(stored_bytes);
+  }
+};
+
+class ActivationStore {
+ public:
+  virtual ~ActivationStore() = default;
+
+  /// Take ownership of `act` (the input activation of `layer`) until
+  /// retrieve(). Implementations may transform it (compress, offload, ...).
+  virtual StashHandle stash(const std::string& layer, tensor::Tensor&& act) = 0;
+
+  /// Destructive pop: return the (possibly lossily reconstructed) activation.
+  virtual tensor::Tensor retrieve(StashHandle handle) = 0;
+
+  /// Bytes currently held by the store (the quantity the paper reduces).
+  virtual std::size_t held_bytes() const = 0;
+
+  /// Per-layer statistics accumulated since the last reset_stats().
+  virtual std::map<std::string, StoreStats> stats() const { return {}; }
+  virtual void reset_stats() {}
+};
+
+/// Baseline store: keeps raw tensors (what stock Caffe/TensorFlow do).
+class RawStore : public ActivationStore {
+ public:
+  StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
+  tensor::Tensor retrieve(StashHandle handle) override;
+  std::size_t held_bytes() const override { return held_bytes_; }
+  std::map<std::string, StoreStats> stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+
+ private:
+  struct Entry {
+    tensor::Tensor t;
+  };
+  std::unordered_map<StashHandle, Entry> entries_;
+  StashHandle next_ = 1;
+  std::size_t held_bytes_ = 0;
+  std::map<std::string, StoreStats> stats_;
+};
+
+/// A serialized activation produced by an ActivationCodec.
+struct EncodedActivation {
+  std::vector<std::uint8_t> bytes;
+  tensor::Shape shape;
+  std::string layer;
+};
+
+/// Pluggable lossy/lossless encoder for activations. The SZ-based framework
+/// codec, the lossless baseline and the JPEG-ACT baseline all implement this.
+class ActivationCodec {
+ public:
+  virtual ~ActivationCodec() = default;
+  virtual EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) = 0;
+  virtual tensor::Tensor decode(const EncodedActivation& enc) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Store that routes activations through an ActivationCodec, holding only the
+/// encoded bytes between forward and backward.
+class CodecStore : public ActivationStore {
+ public:
+  explicit CodecStore(std::shared_ptr<ActivationCodec> codec) : codec_(std::move(codec)) {}
+
+  StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
+  tensor::Tensor retrieve(StashHandle handle) override;
+  std::size_t held_bytes() const override { return held_bytes_; }
+  std::map<std::string, StoreStats> stats() const override { return stats_; }
+  void reset_stats() override { stats_.clear(); }
+
+  ActivationCodec& codec() { return *codec_; }
+
+ private:
+  std::shared_ptr<ActivationCodec> codec_;
+  std::unordered_map<StashHandle, EncodedActivation> entries_;
+  StashHandle next_ = 1;
+  std::size_t held_bytes_ = 0;
+  std::map<std::string, StoreStats> stats_;
+};
+
+}  // namespace ebct::nn

@@ -1,0 +1,114 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/parallel.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+BatchNorm::BatchNorm(std::string name, std::size_t channels, double momentum, double eps)
+    : Layer(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(name_ + ".gamma", Shape{channels}),
+      beta_(name_ + ".beta", Shape{channels}),
+      running_mean_(channels, 0.0f),
+      running_var_(channels, 1.0f) {
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+  // Scale/shift conventionally exempt from weight decay.
+  gamma_.weight_decay_multiplier = 0.0;
+  beta_.weight_decay_multiplier = 0.0;
+}
+
+Tensor BatchNorm::forward(const Tensor& input, bool train) {
+  if (input.shape().rank() != 4 || input.shape().c() != channels_)
+    throw std::invalid_argument(name_ + ": expected NCHW with C=" + std::to_string(channels_));
+  in_shape_ = input.shape();
+  const std::size_t n = in_shape_.n(), hw = in_shape_.h() * in_shape_.w();
+  const std::size_t chw = channels_ * hw;
+  const double count = static_cast<double>(n * hw);
+
+  Tensor out(in_shape_);
+  x_hat_ = Tensor(in_shape_);
+  inv_std_.assign(channels_, 0.0f);
+
+  tensor::parallel_for(channels_, [&](std::size_t c) {
+    double mean, var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = input.data() + s * chw + c * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          sum += src[i];
+          sq += static_cast<double>(src[i]) * src[i];
+        }
+      }
+      mean = sum / count;
+      var = sq / count - mean * mean;
+      if (var < 0.0) var = 0.0;
+      running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] + (1.0 - momentum_) * mean);
+      running_var_[c] = static_cast<float>(momentum_ * running_var_[c] + (1.0 - momentum_) * var);
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const double istd = 1.0 / std::sqrt(var + eps_);
+    inv_std_[c] = static_cast<float>(istd);
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = input.data() + s * chw + c * hw;
+      float* xh = x_hat_.data() + s * chw + c * hw;
+      float* dst = out.data() + s * chw + c * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float xhat = static_cast<float>((src[i] - mean) * istd);
+        xh[i] = xhat;
+        dst[i] = g * xhat + b;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_output) {
+  const std::size_t n = in_shape_.n(), hw = in_shape_.h() * in_shape_.w();
+  const std::size_t chw = channels_ * hw;
+  const double count = static_cast<double>(n * hw);
+
+  Tensor grad_input(in_shape_);
+  tensor::parallel_for(channels_, [&](std::size_t c) {
+    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of dL/dx.
+    double dg = 0.0, db = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* go = grad_output.data() + s * chw + c * hw;
+      const float* xh = x_hat_.data() + s * chw + c * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dg += static_cast<double>(go[i]) * xh[i];
+        db += go[i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(dg);
+    beta_.grad[c] += static_cast<float>(db);
+    const double g = gamma_.value[c];
+    const double istd = inv_std_[c];
+    // dL/dx = (g*istd/count) * (count*go - db - xh*dg)
+    const double k = g * istd / count;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* go = grad_output.data() + s * chw + c * hw;
+      const float* xh = x_hat_.data() + s * chw + c * hw;
+      float* gi = grad_input.data() + s * chw + c * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        gi[i] = static_cast<float>(k * (count * go[i] - db - xh[i] * dg));
+      }
+    }
+  });
+  x_hat_ = Tensor();
+  return grad_input;
+}
+
+}  // namespace ebct::nn

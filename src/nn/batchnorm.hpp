@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file batchnorm.hpp
+/// Spatial batch normalisation over (N, H, W) per channel, with learnable
+/// scale/shift and running statistics for evaluation mode.
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace ebct::nn {
+
+class BatchNorm : public Layer {
+ public:
+  BatchNorm(std::string name, std::size_t channels, double momentum = 0.9,
+            double eps = 1e-5);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  tensor::Shape output_shape(const tensor::Shape& input) const override { return input; }
+
+  std::span<const float> running_mean() const { return {running_mean_.data(), channels_}; }
+  std::span<const float> running_var() const { return {running_var_.data(), channels_}; }
+
+ private:
+  std::size_t channels_;
+  double momentum_;
+  double eps_;
+  Param gamma_;
+  Param beta_;
+  std::vector<float> running_mean_;
+  std::vector<float> running_var_;
+  // Saved forward state for backward.
+  tensor::Tensor x_hat_;
+  std::vector<float> inv_std_;
+  tensor::Shape in_shape_;
+};
+
+}  // namespace ebct::nn

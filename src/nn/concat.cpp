@@ -1,0 +1,134 @@
+#include "nn/concat.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/residual.hpp"
+#include "tensor/ops.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ConcatBranches::ConcatBranches(std::string name,
+                               std::vector<std::vector<std::unique_ptr<Layer>>> branches)
+    : Layer(std::move(name)), branches_(std::move(branches)) {
+  if (branches_.empty()) throw std::invalid_argument("ConcatBranches: no branches");
+}
+
+void ConcatBranches::set_store(ActivationStore* store) {
+  store_ = store;
+  for (auto& branch : branches_)
+    for (auto& l : branch) l->set_store(store);
+}
+
+void ConcatBranches::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& branch : branches_) {
+    for (auto& l : branch) {
+      if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
+        rb->visit(fn);
+      else if (auto* cb = dynamic_cast<ConcatBranches*>(l.get()))
+        cb->visit(fn);
+      else
+        fn(*l);
+    }
+  }
+}
+
+Shape ConcatBranches::branch_output_shape(std::size_t b, const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : branches_[b]) s = l->output_shape(s);
+  return s;
+}
+
+Shape ConcatBranches::output_shape(const Shape& input) const {
+  Shape first = branch_output_shape(0, input);
+  std::size_t channels = first.c();
+  for (std::size_t b = 1; b < branches_.size(); ++b) {
+    const Shape s = branch_output_shape(b, input);
+    if (s.h() != first.h() || s.w() != first.w())
+      throw std::logic_error(name_ + ": branch spatial shapes differ");
+    channels += s.c();
+  }
+  return Shape::nchw(first.n(), channels, first.h(), first.w());
+}
+
+std::size_t ConcatBranches::activation_bytes(const Shape& input) const {
+  std::size_t total = 0;
+  for (const auto& branch : branches_) {
+    Shape s = input;
+    for (const auto& l : branch) {
+      total += l->activation_bytes(s);
+      s = l->output_shape(s);
+    }
+  }
+  return total;
+}
+
+Tensor ConcatBranches::forward(const Tensor& input, bool train) {
+  in_shape_ = input.shape();
+  std::vector<Tensor> outs;
+  outs.reserve(branches_.size());
+  out_channels_.clear();
+  for (auto& branch : branches_) {
+    if (branch.empty()) {
+      outs.push_back(input.clone());
+    } else {
+      Tensor y = branch.front()->forward(input, train);
+      for (std::size_t i = 1; i < branch.size(); ++i) y = branch[i]->forward(y, train);
+      outs.push_back(std::move(y));
+    }
+    out_channels_.push_back(outs.back().shape().c());
+  }
+  const Shape os = output_shape(in_shape_);
+  Tensor out(os);
+  const std::size_t n = os.n(), hw = os.h() * os.w();
+  std::size_t c_off = 0;
+  for (const Tensor& y : outs) {
+    const std::size_t c = y.shape().c();
+    for (std::size_t s = 0; s < n; ++s) {
+      std::memcpy(out.data() + (s * os.c() + c_off) * hw, y.data() + s * c * hw,
+                  c * hw * sizeof(float));
+    }
+    c_off += c;
+  }
+  return out;
+}
+
+Tensor ConcatBranches::backward(const Tensor& grad_output) {
+  const Shape& os = grad_output.shape();
+  const std::size_t n = os.n(), hw = os.h() * os.w();
+  Tensor grad_input(in_shape_, 0.0f);
+  std::size_t c_off = 0;
+  // Branches run backward in reverse forward order so nested stores pop in
+  // LIFO order when a store implementation cares.
+  std::vector<Tensor> slices(branches_.size());
+  for (std::size_t b = 0; b < branches_.size(); ++b) {
+    const std::size_t c = out_channels_[b];
+    Tensor g(Shape::nchw(n, c, os.h(), os.w()));
+    for (std::size_t s = 0; s < n; ++s) {
+      std::memcpy(g.data() + s * c * hw, grad_output.data() + (s * os.c() + c_off) * hw,
+                  c * hw * sizeof(float));
+    }
+    slices[b] = std::move(g);
+    c_off += c;
+  }
+  for (std::size_t b = branches_.size(); b > 0; --b) {
+    auto& branch = branches_[b - 1];
+    Tensor g = std::move(slices[b - 1]);
+    for (std::size_t i = branch.size(); i > 0; --i) g = branch[i - 1]->backward(g);
+    tensor::axpy(1.0f, g.span(), grad_input.span());
+  }
+  return grad_input;
+}
+
+std::vector<Param*> ConcatBranches::params() {
+  std::vector<Param*> out;
+  for (auto& branch : branches_)
+    for (auto& l : branch)
+      for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace ebct::nn

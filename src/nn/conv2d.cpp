@@ -1,0 +1,142 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Conv2d::Conv2d(std::string name, Conv2dSpec spec, tensor::Rng& rng)
+    : Layer(std::move(name)),
+      spec_(spec),
+      weight_(name_ + ".weight",
+              Shape{spec.out_channels, spec.in_channels, spec.kh(), spec.kw()}),
+      bias_(name_ + ".bias", Shape{spec.out_channels}) {
+  // He-normal initialisation, the standard for ReLU networks.
+  const double fan_in =
+      static_cast<double>(spec.in_channels) * spec.kh() * spec.kw();
+  rng.fill_normal(weight_.value.span(), 0.0f,
+                  static_cast<float>(std::sqrt(2.0 / fan_in)));
+  bias_.value.zero();
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  const std::size_t oh = tensor::conv_out_dim(input.h(), spec_.kh(), spec_.stride, spec_.ph());
+  const std::size_t ow = tensor::conv_out_dim(input.w(), spec_.kw(), spec_.stride, spec_.pw());
+  return Shape::nchw(input.n(), spec_.out_channels, oh, ow);
+}
+
+std::vector<Param*> Conv2d::params() {
+  if (spec_.bias) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  if (input.shape().c() != spec_.in_channels)
+    throw std::invalid_argument(name_ + ": channel mismatch");
+  input_shape_ = input.shape();
+  const Shape out_shape = output_shape(input.shape());
+  const std::size_t n = input.shape().n();
+  const std::size_t k = spec_.in_channels * spec_.kh() * spec_.kw();
+  const std::size_t ohow = out_shape.h() * out_shape.w();
+  const std::size_t in_img = input.shape().c() * input.shape().h() * input.shape().w();
+  const std::size_t out_img = out_shape.c() * ohow;
+
+  Tensor out(out_shape);
+  tensor::parallel_chunks(n, [&](std::size_t begin, std::size_t end, std::size_t) {
+    std::vector<float> cols(k * ohow);
+    for (std::size_t s = begin; s < end; ++s) {
+      tensor::im2col(input.data() + s * in_img, spec_.in_channels, input.shape().h(),
+                     input.shape().w(), spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
+                     cols.data(), spec_.pw());
+      tensor::gemm(weight_.value.data(), cols.data(), out.data() + s * out_img,
+                   spec_.out_channels, k, ohow);
+      if (spec_.bias) {
+        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+          float* row = out.data() + s * out_img + oc * ohow;
+          const float b = bias_.value[oc];
+          for (std::size_t j = 0; j < ohow; ++j) row[j] += b;
+        }
+      }
+    }
+  });
+
+  if (store_ != nullptr) {
+    // Stash the *input* activation (paper: G = A x L requires A in backward).
+    last_input_density_ = tensor::nonzero_fraction(input.span());
+    input_handle_ = store_->stash(name_, input.clone());
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (store_ == nullptr) throw std::logic_error(name_ + ": backward without store");
+  Tensor input = store_->retrieve(input_handle_);
+  input.reshape(input_shape_);
+
+  last_loss_mean_abs_ = tensor::mean_abs(grad_output.span());
+
+  const Shape out_shape = grad_output.shape();
+  const std::size_t n = input_shape_.n();
+  const std::size_t k = spec_.in_channels * spec_.kh() * spec_.kw();
+  const std::size_t ohow = out_shape.h() * out_shape.w();
+  const std::size_t in_img = input_shape_.c() * input_shape_.h() * input_shape_.w();
+  const std::size_t out_img = out_shape.c() * ohow;
+
+  Tensor grad_input(input_shape_);
+
+  const int nthreads = tensor::hardware_threads();
+  std::vector<std::vector<float>> wgrad_parts(
+      static_cast<std::size_t>(nthreads), std::vector<float>(weight_.value.numel(), 0.0f));
+  std::vector<std::vector<float>> bgrad_parts(
+      static_cast<std::size_t>(nthreads), std::vector<float>(spec_.out_channels, 0.0f));
+  std::vector<int> part_used(static_cast<std::size_t>(nthreads), 0);
+
+  tensor::parallel_chunks(n, [&](std::size_t begin, std::size_t end, std::size_t part) {
+    part_used[part] = 1;
+    std::vector<float> cols(k * ohow);
+    std::vector<float> cols_grad(k * ohow);
+    auto& wg = wgrad_parts[part];
+    auto& bg = bgrad_parts[part];
+    for (std::size_t s = begin; s < end; ++s) {
+      const float* lgrad = grad_output.data() + s * out_img;
+      // Weight gradient: dW[oc, k] += L[oc, ohow] * cols^T[ohow, k].
+      tensor::im2col(input.data() + s * in_img, spec_.in_channels, input_shape_.h(),
+                     input_shape_.w(), spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
+                     cols.data(), spec_.pw());
+      tensor::gemm_bt(lgrad, cols.data(), wg.data(), spec_.out_channels, ohow, k,
+                      /*accumulate=*/true);
+      if (spec_.bias) {
+        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+          double acc = 0.0;
+          const float* row = lgrad + oc * ohow;
+          for (std::size_t j = 0; j < ohow; ++j) acc += row[j];
+          bg[oc] += static_cast<float>(acc);
+        }
+      }
+      // Input gradient: cols_grad[k, ohow] = W^T[k, oc] * L[oc, ohow].
+      tensor::gemm_at(weight_.value.data(), lgrad, cols_grad.data(), k,
+                      spec_.out_channels, ohow);
+      tensor::col2im(cols_grad.data(), spec_.in_channels, input_shape_.h(), input_shape_.w(),
+                     spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
+                     grad_input.data() + s * in_img, spec_.pw());
+    }
+  });
+
+  for (std::size_t p = 0; p < wgrad_parts.size(); ++p) {
+    if (!part_used[p]) continue;
+    tensor::axpy(1.0f, {wgrad_parts[p].data(), wgrad_parts[p].size()}, weight_.grad.span());
+    if (spec_.bias)
+      tensor::axpy(1.0f, {bgrad_parts[p].data(), bgrad_parts[p].size()}, bias_.grad.span());
+  }
+  return grad_input;
+}
+
+}  // namespace ebct::nn

@@ -1,0 +1,57 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Linear::Linear(std::string name, std::size_t in_features, std::size_t out_features,
+               tensor::Rng& rng)
+    : Layer(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      weight_(name_ + ".weight", Shape{out_features, in_features}),
+      bias_(name_ + ".bias", Shape{out_features}) {
+  rng.fill_normal(weight_.value.span(), 0.0f,
+                  static_cast<float>(std::sqrt(2.0 / static_cast<double>(in_features))));
+  bias_.value.zero();
+}
+
+Tensor Linear::forward(const Tensor& input, bool /*train*/) {
+  if (input.shape().rank() != 2 || input.shape()[1] != in_features_)
+    throw std::invalid_argument(name_ + ": expected [N, " + std::to_string(in_features_) + "]");
+  const std::size_t n = input.shape().n();
+  Tensor out(Shape{n, out_features_});
+  tensor::gemm_bt(input.data(), weight_.value.data(), out.data(), n, in_features_,
+                  out_features_);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* row = out.data() + s * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+  }
+  saved_input_ = input.clone();
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::size_t n = saved_input_.shape().n();
+  // dW[out, in] += L^T[out, N] * x[N, in]
+  tensor::gemm_at(grad_output.data(), saved_input_.data(), weight_.grad.data(),
+                  out_features_, n, in_features_, /*accumulate=*/true);
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* row = grad_output.data() + s * out_features_;
+    for (std::size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+  }
+  // dX[N, in] = L[N, out] * W[out, in]
+  Tensor grad_input(saved_input_.shape());
+  tensor::gemm(grad_output.data(), weight_.value.data(), grad_input.data(), n,
+               out_features_, in_features_);
+  saved_input_ = Tensor();
+  return grad_input;
+}
+
+}  // namespace ebct::nn

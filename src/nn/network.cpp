@@ -1,0 +1,82 @@
+#include "nn/network.hpp"
+
+#include "nn/concat.hpp"
+#include "nn/residual.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  layer->set_store(store_);
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+void Network::set_store(ActivationStore* store) {
+  store_ = store;
+  for (auto& l : layers_) l->set_store(store);
+}
+
+Tensor Network::forward(const Tensor& input, bool train) {
+  Tensor x = input.clone();
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits.clone();
+  for (std::size_t i = layers_.size(); i > 0; --i) g = layers_[i - 1]->backward(g);
+  return g;
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+void Network::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+void Network::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : layers_) {
+    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
+      rb->visit(fn);
+    else if (auto* cb = dynamic_cast<ConcatBranches*>(l.get()))
+      cb->visit(fn);
+    else
+      fn(*l);
+  }
+}
+
+std::vector<std::pair<std::string, Shape>> Network::shape_trace(const Shape& input) const {
+  std::vector<std::pair<std::string, Shape>> out;
+  Shape s = input;
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);
+    out.emplace_back(l->name(), s);
+  }
+  return out;
+}
+
+std::size_t Network::conv_activation_bytes(const Shape& input) const {
+  std::size_t total = 0;
+  Shape s = input;
+  for (const auto& l : layers_) {
+    total += l->activation_bytes(s);
+    s = l->output_shape(s);
+  }
+  return total;
+}
+
+std::size_t Network::num_parameters() {
+  std::size_t total = 0;
+  for (Param* p : params()) total += p->value.numel();
+  return total;
+}
+
+}  // namespace ebct::nn

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file network.hpp
+/// Sequential network container (residual blocks make the graph non-linear
+/// internally while the top level stays a sequence, as in the paper's CNNs).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation_store.hpp"
+#include "nn/layer.hpp"
+
+namespace ebct::nn {
+
+class Network {
+ public:
+  explicit Network(std::string name) : name_(std::move(name)), store_(&default_store_) {}
+
+  const std::string& name() const { return name_; }
+
+  Layer& add(std::unique_ptr<Layer> layer);
+
+  /// Replace the activation store (baseline raw vs compressed framework).
+  void set_store(ActivationStore* store);
+  ActivationStore& store() { return *store_; }
+
+  /// Forward through all layers. `train` toggles dropout/BN behaviour.
+  tensor::Tensor forward(const tensor::Tensor& input, bool train);
+
+  /// Backward from dL/dlogits; returns dL/dinput (rarely needed).
+  tensor::Tensor backward(const tensor::Tensor& grad_logits);
+
+  std::vector<Param*> params();
+  void zero_grad();
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+
+  /// Visit every leaf layer, descending into residual blocks.
+  void visit(const std::function<void(Layer&)>& fn);
+
+  /// Shape trace for an input shape: (layer name, output shape) per layer.
+  std::vector<std::pair<std::string, tensor::Shape>> shape_trace(
+      const tensor::Shape& input) const;
+
+  /// Total raw bytes of activations stashed through the store for one
+  /// iteration at the given input shape (dry-run; the paper's
+  /// "convolutional activation size" column).
+  std::size_t conv_activation_bytes(const tensor::Shape& input) const;
+
+  /// Total number of learnable scalars.
+  std::size_t num_parameters();
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  RawStore default_store_;
+  ActivationStore* store_;
+};
+
+}  // namespace ebct::nn

@@ -1,0 +1,105 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ResidualBlock::ResidualBlock(std::string name, std::vector<std::unique_ptr<Layer>> main_path,
+                             std::vector<std::unique_ptr<Layer>> shortcut_path)
+    : Layer(std::move(name)),
+      main_(std::move(main_path)),
+      shortcut_(std::move(shortcut_path)),
+      out_relu_(name_ + ".relu_out") {
+  if (main_.empty()) throw std::invalid_argument("ResidualBlock: empty main path");
+}
+
+void ResidualBlock::set_store(ActivationStore* store) {
+  store_ = store;
+  for (auto& l : main_) l->set_store(store);
+  for (auto& l : shortcut_) l->set_store(store);
+}
+
+void ResidualBlock::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : main_) {
+    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
+      rb->visit(fn);
+    else
+      fn(*l);
+  }
+  for (auto& l : shortcut_) {
+    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
+      rb->visit(fn);
+    else
+      fn(*l);
+  }
+}
+
+Shape ResidualBlock::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : main_) s = l->output_shape(s);
+  return s;
+}
+
+std::size_t ResidualBlock::activation_bytes(const Shape& input) const {
+  std::size_t total = 0;
+  Shape s = input;
+  for (const auto& l : main_) {
+    total += l->activation_bytes(s);
+    s = l->output_shape(s);
+  }
+  Shape sc = input;
+  for (const auto& l : shortcut_) {
+    total += l->activation_bytes(sc);
+    sc = l->output_shape(sc);
+  }
+  return total;
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+  Tensor y = main_.front()->forward(input, train);
+  for (std::size_t i = 1; i < main_.size(); ++i) y = main_[i]->forward(y, train);
+
+  Tensor sc;
+  if (shortcut_.empty()) {
+    sc = input.clone();
+  } else {
+    sc = shortcut_.front()->forward(input, train);
+    for (std::size_t i = 1; i < shortcut_.size(); ++i) sc = shortcut_[i]->forward(sc, train);
+  }
+  if (sc.shape() != y.shape())
+    throw std::logic_error(name_ + ": shortcut/main shape mismatch");
+  tensor::axpy(1.0f, sc.span(), y.span());
+  return out_relu_.forward(y, train);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  Tensor g = out_relu_.backward(grad_output);
+  // The add distributes the gradient to both paths unchanged.
+  Tensor g_main = g.clone();
+  for (std::size_t i = main_.size(); i > 0; --i) g_main = main_[i - 1]->backward(g_main);
+
+  if (shortcut_.empty()) {
+    tensor::axpy(1.0f, g.span(), g_main.span());
+    return g_main;
+  }
+  Tensor g_sc = std::move(g);
+  for (std::size_t i = shortcut_.size(); i > 0; --i) g_sc = shortcut_[i - 1]->backward(g_sc);
+  tensor::axpy(1.0f, g_sc.span(), g_main.span());
+  return g_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> out;
+  for (auto& l : main_)
+    for (Param* p : l->params()) out.push_back(p);
+  for (auto& l : shortcut_)
+    for (Param* p : l->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace ebct::nn

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file residual.hpp
+/// Composite residual block (ResNet): out = ReLU(main(x) + shortcut(x)).
+/// The main path is a layer sequence; the shortcut is identity or a
+/// projection (1x1 conv [+ BN]) when shape changes. Children share the
+/// block's ActivationStore, so their conv inputs are compressed exactly like
+/// top-level convolutions.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/simple_layers.hpp"
+
+namespace ebct::nn {
+
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, std::vector<std::unique_ptr<Layer>> main_path,
+                std::vector<std::unique_ptr<Layer>> shortcut_path);
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  tensor::Shape output_shape(const tensor::Shape& input) const override;
+  void set_store(ActivationStore* store) override;
+  std::size_t activation_bytes(const tensor::Shape& input) const override;
+
+  /// Apply `fn` to every leaf layer inside the block (for statistics
+  /// collection over nested convolutions).
+  void visit(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> main_;
+  std::vector<std::unique_ptr<Layer>> shortcut_;
+  ReLU out_relu_;
+};
+
+}  // namespace ebct::nn

@@ -1,0 +1,104 @@
+#include "nn/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ebct::nn {
+
+namespace {
+constexpr char kMagic[4] = {'E', 'B', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* src, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  out.insert(out.end(), p, p + n);
+}
+
+template <typename T>
+void put_pod(std::vector<std::uint8_t>& out, T v) {
+  put_bytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::uint8_t>& in) {
+  if (in.size() < sizeof(T)) throw std::runtime_error("checkpoint: truncated");
+  T v;
+  std::memcpy(&v, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return v;
+}
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(Network& net) {
+  std::vector<std::uint8_t> out;
+  put_bytes(out, kMagic, 4);
+  put_pod<std::uint32_t>(out, kVersion);
+  const auto params = net.params();
+  put_pod<std::uint64_t>(out, params.size());
+  for (Param* p : params) {
+    put_pod<std::uint64_t>(out, p->name.size());
+    put_bytes(out, p->name.data(), p->name.size());
+    put_pod<std::uint64_t>(out, p->value.numel());
+    put_bytes(out, p->value.data(), p->value.bytes());
+    put_bytes(out, p->momentum.data(), p->momentum.bytes());
+  }
+  return out;
+}
+
+void save_checkpoint_file(Network& net, const std::string& path) {
+  const auto bytes = save_checkpoint(net);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("checkpoint: cannot open " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) throw std::runtime_error("checkpoint: short write " + path);
+}
+
+void load_checkpoint(Network& net, std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    throw std::runtime_error("checkpoint: bad magic");
+  bytes = bytes.subspan(4);
+  const auto version = read_pod<std::uint32_t>(bytes);
+  if (version != kVersion) throw std::runtime_error("checkpoint: unsupported version");
+
+  std::unordered_map<std::string, Param*> by_name;
+  for (Param* p : net.params()) by_name.emplace(p->name, p);
+
+  const auto count = read_pod<std::uint64_t>(bytes);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint64_t>(bytes);
+    if (bytes.size() < name_len) throw std::runtime_error("checkpoint: truncated name");
+    std::string name(reinterpret_cast<const char*>(bytes.data()), name_len);
+    bytes = bytes.subspan(name_len);
+    const auto numel = read_pod<std::uint64_t>(bytes);
+    const std::size_t blob = numel * sizeof(float);
+    if (bytes.size() < 2 * blob) throw std::runtime_error("checkpoint: truncated data");
+
+    auto it = by_name.find(name);
+    if (it == by_name.end())
+      throw std::runtime_error("checkpoint: unknown parameter " + name);
+    Param* p = it->second;
+    if (p->value.numel() != numel)
+      throw std::runtime_error("checkpoint: size mismatch for " + name);
+    std::memcpy(p->value.data(), bytes.data(), blob);
+    std::memcpy(p->momentum.data(), bytes.data() + blob, blob);
+    bytes = bytes.subspan(2 * blob);
+  }
+}
+
+void load_checkpoint_file(Network& net, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) throw std::runtime_error("checkpoint: short read " + path);
+  load_checkpoint(net, bytes);
+}
+
+}  // namespace ebct::nn

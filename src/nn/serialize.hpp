@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Model checkpointing: save/restore all learnable parameters and their
+/// momentum buffers to a compact binary format. The paper's Fig. 9
+/// methodology ("pre-train, snapshot every epoch, resume from snapshots with
+/// injected error") needs exactly this.
+///
+/// Format (little-endian):
+///   magic "EBCK" | u32 version | u64 param_count
+///   per param: u64 name_len | name bytes | u64 numel |
+///              numel floats (value) | numel floats (momentum)
+/// Restore matches parameters by name and requires identical shapes.
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace ebct::nn {
+
+/// Serialize every parameter (value + momentum) of `net` into bytes.
+std::vector<std::uint8_t> save_checkpoint(Network& net);
+
+/// Write save_checkpoint() output to a file. Throws on I/O failure.
+void save_checkpoint_file(Network& net, const std::string& path);
+
+/// Restore parameters by name. Throws if a stored parameter is missing from
+/// the network or has mismatched size. Parameters in the network that are
+/// absent from the checkpoint are left untouched (allows partial restores).
+void load_checkpoint(Network& net, std::span<const std::uint8_t> bytes);
+
+void load_checkpoint_file(Network& net, const std::string& path);
+
+}  // namespace ebct::nn

@@ -1,0 +1,53 @@
+#include "nn/sgd.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+
+namespace ebct::nn {
+
+double StepLr::lr(std::size_t iteration) const {
+  double rate = base_;
+  for (std::size_t t = step_; t <= iteration; t += step_) rate *= gamma_;
+  return rate;
+}
+
+void Sgd::step(std::span<Param* const> params, double lr) {
+  for (Param* p : params) {
+    const double wd = opts_.weight_decay * p->weight_decay_multiplier;
+    const float mu = static_cast<float>(opts_.momentum);
+    const float flr = static_cast<float>(lr);
+    auto w = p->value.span();
+    auto g = p->grad.span();
+    auto v = p->momentum.span();
+    tensor::parallel_for(w.size(), [&](std::size_t i) {
+      const float grad = g[i] + static_cast<float>(wd) * w[i];
+      v[i] = mu * v[i] + grad;
+      w[i] -= flr * v[i];
+      g[i] = 0.0f;
+    });
+  }
+}
+
+double Sgd::momentum_mean_abs(std::span<Param* const> params) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (Param* p : params) {
+    acc += tensor::mean_abs(p->momentum.span()) * static_cast<double>(p->momentum.numel());
+    count += p->momentum.numel();
+  }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+double Sgd::gradient_mean_abs(std::span<Param* const> params) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (Param* p : params) {
+    acc += tensor::mean_abs(p->grad.span()) * static_cast<double>(p->grad.numel());
+    count += p->grad.numel();
+  }
+  return count ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ebct::nn

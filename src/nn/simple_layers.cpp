@@ -1,0 +1,78 @@
+#include "nn/simple_layers.hpp"
+
+#include "tensor/parallel.hpp"
+
+namespace ebct::nn {
+
+using tensor::Tensor;
+
+namespace {
+inline void set_bit(std::vector<std::uint64_t>& mask, std::size_t i, bool v) {
+  if (v)
+    mask[i >> 6] |= (1ULL << (i & 63));
+  else
+    mask[i >> 6] &= ~(1ULL << (i & 63));
+}
+inline bool get_bit(const std::vector<std::uint64_t>& mask, std::size_t i) {
+  return (mask[i >> 6] >> (i & 63)) & 1ULL;
+}
+}  // namespace
+
+Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
+  shape_ = input.shape();
+  mask_.assign((input.numel() + 63) / 64, 0);
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool pos = input[i] > 0.0f;
+    out[i] = pos ? input[i] : 0.0f;
+    set_bit(mask_, i, pos);
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad(shape_);
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = get_bit(mask_, i) ? grad_output[i] : 0.0f;
+  }
+  return grad;
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
+  shape_ = input.shape();
+  Tensor out = input.clone();
+  out.reshape(output_shape(shape_));
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output.clone();
+  grad.reshape(shape_);
+  return grad;
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  train_mode_ = train;
+  if (!train) return input.clone();
+  mask_.assign((input.numel() + 63) / 64, 0);
+  Tensor out(input.shape());
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool keep = rng_.uniform() >= p_;
+    set_bit(mask_, i, keep);
+    out[i] = keep ? input[i] * scale : 0.0f;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!train_mode_) return grad_output.clone();
+  Tensor grad(grad_output.shape());
+  const float scale = static_cast<float>(1.0 / (1.0 - p_));
+  for (std::size_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = get_bit(mask_, i) ? grad_output[i] * scale : 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace ebct::nn

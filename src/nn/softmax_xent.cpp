@@ -1,0 +1,59 @@
+#include "nn/softmax_xent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ebct::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor SoftmaxCrossEntropy::softmax(const Tensor& logits) {
+  const std::size_t n = logits.shape().n();
+  const std::size_t k = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::size_t s = 0; s < n; ++s) {
+    const float* row = logits.data() + s * k;
+    float* prow = probs.data() + s * k;
+    float mx = row[0];
+    for (std::size_t j = 1; j < k; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      prow[j] = std::exp(row[j] - mx);
+      denom += prow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < k; ++j) prow[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult SoftmaxCrossEntropy::compute(const Tensor& logits,
+                                        std::span<const std::int32_t> labels) const {
+  const std::size_t n = logits.shape().n();
+  const std::size_t k = logits.shape()[1];
+  if (labels.size() != n) throw std::invalid_argument("SoftmaxCrossEntropy: label count");
+
+  LossResult r;
+  r.grad_logits = softmax(logits);
+  double loss = 0.0;
+  std::size_t correct = 0;
+  const float invn = 1.0f / static_cast<float>(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    float* prow = r.grad_logits.data() + s * k;
+    const auto y = static_cast<std::size_t>(labels[s]);
+    if (y >= k) throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < k; ++j)
+      if (prow[j] > prow[argmax]) argmax = j;
+    if (argmax == y) ++correct;
+    loss += -std::log(std::max(1e-12, static_cast<double>(prow[y])));
+    prow[y] -= 1.0f;
+    for (std::size_t j = 0; j < k; ++j) prow[j] *= invn;
+  }
+  r.loss = loss / static_cast<double>(n);
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+  return r;
+}
+
+}  // namespace ebct::nn

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file softmax_xent.hpp
+/// Fused softmax + cross-entropy head. Not a Layer: it terminates the
+/// network, producing the scalar loss and the gradient w.r.t. logits.
+/// The per-sample loss rows are also where the paper's L statistics
+/// (L̄, L_max) originate for the last layer.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ebct::nn {
+
+struct LossResult {
+  double loss = 0.0;              ///< mean cross-entropy over the batch
+  double accuracy = 0.0;          ///< top-1 accuracy over the batch
+  tensor::Tensor grad_logits;     ///< dL/dlogits, already divided by batch size
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [N, classes]; labels: N class indices.
+  LossResult compute(const tensor::Tensor& logits, std::span<const std::int32_t> labels) const;
+
+  /// Softmax probabilities only (evaluation).
+  static tensor::Tensor softmax(const tensor::Tensor& logits);
+};
+
+}  // namespace ebct::nn

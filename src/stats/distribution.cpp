@@ -1,0 +1,50 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+
+#include "stats/running_stats.hpp"
+
+namespace ebct::stats {
+
+ShapeDiagnostics diagnose(std::span<const float> xs) {
+  RunningStats rs;
+  rs.add(xs);
+  ShapeDiagnostics d;
+  d.mean = rs.mean();
+  d.stddev = rs.stddev();
+  d.skewness = rs.skewness();
+  d.excess_kurtosis = rs.excess_kurtosis();
+  d.min = rs.min();
+  d.max = rs.max();
+  if (d.stddev > 0.0) {
+    std::size_t inside = 0;
+    for (float x : xs) {
+      if (std::fabs(static_cast<double>(x) - d.mean) <= d.stddev) ++inside;
+    }
+    d.within_one_sigma = xs.empty() ? 0.0 : static_cast<double>(inside) / xs.size();
+  }
+  return d;
+}
+
+bool looks_uniform(const ShapeDiagnostics& d, double bound, double tol) {
+  if (bound <= 0.0) return false;
+  if (d.min < -bound * (1.0 + tol) || d.max > bound * (1.0 + tol)) return false;
+  if (std::fabs(d.mean) > bound * tol) return false;
+  if (std::fabs(d.skewness) > 3.0 * tol) return false;
+  // Uniform excess kurtosis is -1.2.
+  if (std::fabs(d.excess_kurtosis + 1.2) > 4.0 * tol) return false;
+  const double expected_sd = uniform_stddev(bound);
+  return std::fabs(d.stddev - expected_sd) <= expected_sd * 2.0 * tol;
+}
+
+bool looks_normal(const ShapeDiagnostics& d, double tol) {
+  if (d.stddev <= 0.0) return false;
+  if (std::fabs(d.mean) > d.stddev * 2.0 * tol) return false;
+  if (std::fabs(d.skewness) > 4.0 * tol) return false;
+  if (std::fabs(d.excess_kurtosis) > 6.0 * tol) return false;
+  return std::fabs(d.within_one_sigma - 0.682) < 0.682 * tol;
+}
+
+double uniform_stddev(double eb) { return eb / std::sqrt(3.0); }
+
+}  // namespace ebct::stats

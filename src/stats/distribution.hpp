@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file distribution.hpp
+/// Distribution-shape diagnostics for the paper's two modelling claims:
+/// (i) compression error on activations is ~U(-eb, +eb);
+/// (ii) induced gradient error is ~N(0, sigma).
+/// The checks are moment-based (variance, skewness, excess kurtosis, and the
+/// 68.2%-within-one-sigma mass test the paper itself uses in Fig. 6).
+
+#include <span>
+
+namespace ebct::stats {
+
+struct ShapeDiagnostics {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double excess_kurtosis = 0.0;  ///< 0 for normal, -1.2 for uniform
+  double within_one_sigma = 0.0; ///< mass in [mean-σ, mean+σ]; ~0.682 normal, ~0.577 uniform
+  double min = 0.0;
+  double max = 0.0;
+};
+
+ShapeDiagnostics diagnose(std::span<const float> xs);
+
+/// True when the sample looks uniform on [-bound, bound]:
+/// bounded support, near-zero skew, kurtosis near -1.2, variance near bound²/3.
+bool looks_uniform(const ShapeDiagnostics& d, double bound, double tol = 0.15);
+
+/// True when the sample looks centred-normal: near-zero skew, kurtosis near 0,
+/// and ~68.2% of mass within one sigma.
+bool looks_normal(const ShapeDiagnostics& d, double tol = 0.15);
+
+/// Theoretical stddev of U(-eb, +eb): eb / sqrt(3).
+double uniform_stddev(double eb);
+
+}  // namespace ebct::stats

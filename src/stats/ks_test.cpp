@@ -1,0 +1,57 @@
+#include "stats/ks_test.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <vector>
+
+namespace ebct::stats {
+
+namespace {
+
+KsResult ks_against(std::span<const float> xs, const std::function<double(double)>& cdf) {
+  KsResult r;
+  if (xs.empty()) return r;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  r.statistic = d;
+  r.p_value = kolmogorov_tail(std::sqrt(n) * d);
+  return r;
+}
+
+}  // namespace
+
+double kolmogorov_tail(double x) {
+  if (x <= 0.0) return 1.0;
+  // Q_KS(x) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 x^2); converges fast.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test_uniform(std::span<const float> xs, double lo, double hi) {
+  const double range = hi - lo;
+  return ks_against(xs, [lo, range](double x) {
+    return std::clamp((x - lo) / range, 0.0, 1.0);
+  });
+}
+
+KsResult ks_test_normal(std::span<const float> xs, double mean, double stddev) {
+  return ks_against(xs, [mean, stddev](double x) {
+    return 0.5 * std::erfc(-(x - mean) / (stddev * std::sqrt(2.0)));
+  });
+}
+
+}  // namespace ebct::stats

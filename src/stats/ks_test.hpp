@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file ks_test.hpp
+/// Exact one-sample Kolmogorov–Smirnov test against the uniform and normal
+/// reference distributions, with the asymptotic p-value approximation.
+/// Complements the moment-based diagnostics in distribution.hpp with a
+/// proper goodness-of-fit statistic for the Fig. 3 / Fig. 6 claims.
+
+#include <span>
+
+namespace ebct::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n(x) - F(x)|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov distribution tail
+};
+
+/// KS test of `xs` against U(lo, hi).
+KsResult ks_test_uniform(std::span<const float> xs, double lo, double hi);
+
+/// KS test of `xs` against N(mean, stddev).
+KsResult ks_test_normal(std::span<const float> xs, double mean, double stddev);
+
+/// Tail of the Kolmogorov distribution: P(sqrt(n)*D > x).
+double kolmogorov_tail(double x);
+
+}  // namespace ebct::stats

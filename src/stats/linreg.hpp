@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file linreg.hpp
+/// Ordinary least squares through the origin and with intercept. Used by the
+/// Fig. 8 bench to re-derive the paper's empirical coefficient a ≈ 0.32 from
+/// measured sigma vs. L̄·√(N·R)·eb.
+
+#include <cstddef>
+#include <span>
+
+namespace ebct::stats {
+
+struct LinFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+
+/// y ≈ slope * x (no intercept). r2 measured against the mean-zero model.
+inline LinFit fit_through_origin(std::span<const double> x, std::span<const double> y) {
+  LinFit f;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+  }
+  if (sxx == 0.0) return f;
+  f.slope = sxy / sxx;
+  if (syy > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = y[i] - f.slope * x[i];
+      ss_res += r * r;
+    }
+    f.r2 = 1.0 - ss_res / syy;
+  }
+  return f;
+}
+
+/// Standard OLS with intercept.
+inline LinFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  LinFit f;
+  const std::size_t n = x.size() < y.size() ? x.size() : y.size();
+  if (n == 0) return f;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  if (syy > 0.0) f.r2 = sxy * sxy / (sxx * syy);
+  return f;
+}
+
+}  // namespace ebct::stats

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file running_stats.hpp
+/// Welford-style streaming moment accumulator, up to fourth moment, used for
+/// the uniformity/normality diagnostics in the error-propagation experiments.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace ebct::stats {
+
+/// Online mean/variance/skewness/kurtosis accumulator (numerically stable).
+class RunningStats {
+ public:
+  void add(double x) {
+    const double n1 = static_cast<double>(n_);
+    n_ += 1;
+    const double n = static_cast<double>(n_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3 * n + 3) + 6 * delta_n2 * m2_ - 4 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2) - 3 * delta_n * m2_;
+    m2_ += term1;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void add(std::span<const float> xs) {
+    for (float x : xs) add(static_cast<double>(x));
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sample skewness (0 for symmetric distributions).
+  double skewness() const {
+    if (n_ < 2 || m2_ == 0.0) return 0.0;
+    const double n = static_cast<double>(n_);
+    return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+  }
+
+  /// Excess kurtosis: 0 for normal, -1.2 for uniform.
+  double excess_kurtosis() const {
+    if (n_ < 2 || m2_ == 0.0) return 0.0;
+    const double n = static_cast<double>(n_);
+    return n * m4_ / (m2_ * m2_) - 3.0;
+  }
+
+  void merge(const RunningStats& o) {
+    // Chan et al. parallel-merge formulas.
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double n = na + nb;
+    const double delta = o.mean_ - mean_;
+    const double mean = mean_ + delta * nb / n;
+    const double m2 = m2_ + o.m2_ + delta * delta * na * nb / n;
+    const double m3 = m3_ + o.m3_ + delta * delta * delta * na * nb * (na - nb) / (n * n) +
+                      3.0 * delta * (na * o.m2_ - nb * m2_) / n;
+    const double m4 =
+        m4_ + o.m4_ +
+        delta * delta * delta * delta * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+        6.0 * delta * delta * (na * na * o.m2_ + nb * nb * m2_) / (n * n) +
+        4.0 * delta * (na * o.m3_ - nb * m3_) / n;
+    n_ += o.n_;
+    mean_ = mean;
+    m2_ = m2;
+    m3_ = m3;
+    m4_ = m4;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+}  // namespace ebct::stats

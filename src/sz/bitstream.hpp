@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file bitstream.hpp
+/// MSB-first bit writer/reader over a byte vector. Used by the Huffman coder
+/// and the run-length streams inside the SZ compressor.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ebct::sz {
+
+class BitWriter {
+ public:
+  /// Append the low `nbits` bits of `value`, most-significant first.
+  void put(std::uint64_t value, unsigned nbits) {
+    while (nbits > 0) {
+      const unsigned take = nbits < (64 - fill_) ? nbits : (64 - fill_);
+      acc_ = (acc_ << take) | ((value >> (nbits - take)) & mask(take));
+      fill_ += take;
+      nbits -= take;
+      if (fill_ == 64) flush_word();
+    }
+  }
+
+  void put_bit(bool b) { put(b ? 1 : 0, 1); }
+
+  /// Unsigned LEB128 varint (byte-aligned is not required; emitted as bits).
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      put((v & 0x7f) | 0x80, 8);
+      v >>= 7;
+    }
+    put(v, 8);
+  }
+
+  /// Pad to a byte boundary and return the underlying bytes.
+  std::vector<std::uint8_t> finish() {
+    if (fill_ % 8 != 0) put(0, 8 - (fill_ % 8));
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      bytes_.push_back(static_cast<std::uint8_t>((acc_ >> fill_) & 0xff));
+    }
+    acc_ = 0;
+    return std::move(bytes_);
+  }
+
+  std::size_t bit_count() const { return bytes_.size() * 8 + fill_; }
+
+ private:
+  static std::uint64_t mask(unsigned n) { return n >= 64 ? ~0ULL : ((1ULL << n) - 1); }
+  void flush_word() {
+    for (int s = 56; s >= 0; s -= 8) {
+      bytes_.push_back(static_cast<std::uint8_t>((acc_ >> s) & 0xff));
+    }
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t get(unsigned nbits) {
+    std::uint64_t out = 0;
+    while (nbits > 0) {
+      if (avail_ == 0) refill();
+      const unsigned take = nbits < avail_ ? nbits : avail_;
+      out = (out << take) | ((acc_ >> (avail_ - take)) & mask(take));
+      avail_ -= take;
+      nbits -= take;
+    }
+    return out;
+  }
+
+  bool get_bit() { return get(1) != 0; }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    while (true) {
+      const std::uint64_t byte = get(8);
+      v |= (byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  bool exhausted() const { return pos_ >= bytes_.size() && avail_ == 0; }
+
+ private:
+  static std::uint64_t mask(unsigned n) { return n >= 64 ? ~0ULL : ((1ULL << n) - 1); }
+  void refill() {
+    acc_ = 0;
+    avail_ = 0;
+    while (avail_ < 64 && pos_ < bytes_.size()) {
+      acc_ = (acc_ << 8) | bytes_[pos_++];
+      avail_ += 8;
+    }
+    if (avail_ == 0) {
+      // Reading past the end yields zeros; callers track logical lengths.
+      acc_ = 0;
+      avail_ = 64;
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned avail_ = 0;
+};
+
+}  // namespace ebct::sz

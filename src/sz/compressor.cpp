@@ -1,0 +1,354 @@
+#include "sz/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "sz/bitstream.hpp"
+#include "sz/huffman.hpp"
+#include "tensor/parallel.hpp"
+
+namespace ebct::sz {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x455A4331;  // "EZC1"
+
+#pragma pack(push, 1)
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::uint64_t num_elements = 0;
+  double abs_eb = 0.0;
+  std::uint8_t predictor = 0;
+  std::uint8_t zero_mode = 0;
+  std::uint32_t radius = 0;
+  std::uint32_t block_size = 0;
+  std::uint64_t num_quantized = 0;  // elements that went through the code path
+  std::uint64_t table_bytes = 0;
+  std::uint64_t rle_bytes = 0;
+  std::uint64_t num_blocks = 0;
+};
+#pragma pack(pop)
+
+struct BlockResult {
+  std::vector<std::uint32_t> symbols;
+  std::vector<float> outliers;
+  std::vector<std::uint8_t> encoded;
+};
+
+/// Quantize one block with a 1-D Lorenzo predictor (previous reconstructed
+/// value). Emits symbol 0 for outliers; otherwise symbol = code + radius.
+void quantize_block_1d(std::span<const float> block, double eb, std::uint32_t radius,
+                       std::vector<std::uint32_t>& symbols, std::vector<float>& outliers) {
+  symbols.resize(block.size());
+  const double inv_step = 1.0 / (2.0 * eb);
+  float prev_recon = 0.0f;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    const float x = block[i];
+    const double diff = static_cast<double>(x) - static_cast<double>(prev_recon);
+    const double code_d = std::nearbyint(diff * inv_step);
+    bool outlier = std::fabs(code_d) >= static_cast<double>(radius);
+    float recon = 0.0f;
+    if (!outlier) {
+      recon = static_cast<float>(static_cast<double>(prev_recon) +
+                                 code_d * 2.0 * eb);
+      // Float rounding can push the reconstruction past the bound; escape.
+      if (std::fabs(static_cast<double>(recon) - static_cast<double>(x)) > eb) {
+        outlier = true;
+      }
+    }
+    if (outlier) {
+      symbols[i] = 0;
+      outliers.push_back(x);
+      prev_recon = x;
+    } else {
+      symbols[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(code_d) +
+                                              static_cast<std::int64_t>(radius));
+      prev_recon = recon;
+    }
+  }
+}
+
+/// 2-D Lorenzo over a plane of width w: pred = left + top - topleft, using
+/// reconstructed values. Single block (serial) by design.
+void quantize_2d(std::span<const float> data, std::size_t w, double eb,
+                 std::uint32_t radius, std::vector<std::uint32_t>& symbols,
+                 std::vector<float>& outliers, std::vector<float>& recon) {
+  symbols.resize(data.size());
+  recon.resize(data.size());
+  const double inv_step = 1.0 / (2.0 * eb);
+  const std::size_t rows = (data.size() + w - 1) / w;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      const std::size_t i = r * w + c;
+      if (i >= data.size()) break;
+      const double left = c > 0 ? recon[i - 1] : 0.0;
+      const double top = r > 0 ? recon[i - w] : 0.0;
+      const double tl = (c > 0 && r > 0) ? recon[i - w - 1] : 0.0;
+      const double pred = left + top - tl;
+      const float x = data[i];
+      const double code_d = std::nearbyint((static_cast<double>(x) - pred) * inv_step);
+      bool outlier = std::fabs(code_d) >= static_cast<double>(radius);
+      float rec = 0.0f;
+      if (!outlier) {
+        rec = static_cast<float>(pred + code_d * 2.0 * eb);
+        if (std::fabs(static_cast<double>(rec) - static_cast<double>(x)) > eb) outlier = true;
+      }
+      if (outlier) {
+        symbols[i] = 0;
+        outliers.push_back(x);
+        recon[i] = x;
+      } else {
+        symbols[i] = static_cast<std::uint32_t>(static_cast<std::int64_t>(code_d) +
+                                                static_cast<std::int64_t>(radius));
+        recon[i] = rec;
+      }
+    }
+  }
+}
+
+void append_bytes(std::vector<std::uint8_t>& dst, const void* src, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(src);
+  dst.insert(dst.end(), p, p + n);
+}
+
+template <typename T>
+T read_pod(const std::uint8_t*& p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  p += sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+Compressor::Compressor(Config cfg) : cfg_(cfg) {
+  if (cfg_.error_bound <= 0.0) throw std::invalid_argument("Compressor: error_bound must be > 0");
+  if (cfg_.radius < 2) throw std::invalid_argument("Compressor: radius must be >= 2");
+  if (cfg_.block_size == 0) throw std::invalid_argument("Compressor: block_size must be > 0");
+  if (cfg_.predictor == Predictor::kLorenzo2D && cfg_.plane_width == 0)
+    throw std::invalid_argument("Compressor: kLorenzo2D requires plane_width");
+}
+
+CompressedBuffer Compressor::compress(std::span<const float> data) const {
+  // Resolve the absolute bound.
+  double eb = cfg_.error_bound;
+  if (cfg_.bound_mode == BoundMode::kRelative) {
+    float lo = 0.0f, hi = 0.0f;
+    if (!data.empty()) {
+      lo = hi = data[0];
+      for (float v : data) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    const double range = static_cast<double>(hi) - static_cast<double>(lo);
+    eb = range > 0.0 ? cfg_.error_bound * range : cfg_.error_bound;
+  }
+
+  // Exact-zero RLE mode: strip zeros into a run-length side stream and
+  // compress only the packed non-zero sequence.
+  std::vector<std::uint8_t> rle_bytes;
+  std::vector<float> packed;
+  std::span<const float> payload = data;
+  if (cfg_.zero_mode == ZeroMode::kExactRle) {
+    BitWriter rle;
+    packed.reserve(data.size());
+    std::size_t i = 0;
+    while (i < data.size()) {
+      std::size_t z = i;
+      while (z < data.size() && data[z] == 0.0f) ++z;
+      rle.put_varint(z - i);
+      std::size_t nz = z;
+      while (nz < data.size() && data[nz] != 0.0f) ++nz;
+      rle.put_varint(nz - z);
+      for (std::size_t k = z; k < nz; ++k) packed.push_back(data[k]);
+      i = nz;
+    }
+    rle_bytes = rle.finish();
+    payload = packed;
+  }
+
+  const std::size_t n = payload.size();
+  const std::size_t bs = cfg_.block_size;
+  const bool two_d = cfg_.predictor == Predictor::kLorenzo2D;
+  const std::size_t num_blocks = two_d ? (n ? 1 : 0) : (n + bs - 1) / bs;
+
+  std::vector<BlockResult> blocks(num_blocks);
+  if (two_d && n > 0) {
+    std::vector<float> recon;
+    quantize_2d(payload, cfg_.plane_width, eb, cfg_.radius, blocks[0].symbols,
+                blocks[0].outliers, recon);
+  } else {
+    tensor::parallel_for(num_blocks, [&](std::size_t b) {
+      const std::size_t begin = b * bs;
+      const std::size_t end = std::min(n, begin + bs);
+      quantize_block_1d(payload.subspan(begin, end - begin), eb, cfg_.radius,
+                        blocks[b].symbols, blocks[b].outliers);
+    });
+  }
+
+  // Global Huffman table over all blocks' symbols.
+  const std::size_t alphabet = 2ull * cfg_.radius;
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (const auto& blk : blocks) {
+    for (std::uint32_t s : blk.symbols) ++freqs[s];
+  }
+  HuffmanCodec codec;
+  codec.build(freqs);
+  const std::vector<std::uint8_t> table = codec.serialize_table();
+
+  tensor::parallel_for(num_blocks, [&](std::size_t b) {
+    blocks[b].encoded = codec.encode(blocks[b].symbols);
+  });
+
+  Header h;
+  h.num_elements = data.size();
+  h.abs_eb = eb;
+  h.predictor = static_cast<std::uint8_t>(cfg_.predictor);
+  h.zero_mode = static_cast<std::uint8_t>(cfg_.zero_mode);
+  h.radius = cfg_.radius;
+  h.block_size = cfg_.block_size;
+  h.num_quantized = n;
+  h.table_bytes = table.size();
+  h.rle_bytes = rle_bytes.size();
+  h.num_blocks = num_blocks;
+
+  CompressedBuffer out;
+  out.num_elements = data.size();
+  out.abs_error_bound = eb;
+  append_bytes(out.bytes, &h, sizeof(h));
+  append_bytes(out.bytes, table.data(), table.size());
+  append_bytes(out.bytes, rle_bytes.data(), rle_bytes.size());
+  for (const auto& blk : blocks) {
+    const std::uint64_t counts[3] = {blk.symbols.size(), blk.encoded.size(),
+                                     blk.outliers.size()};
+    append_bytes(out.bytes, counts, sizeof(counts));
+  }
+  for (const auto& blk : blocks) append_bytes(out.bytes, blk.encoded.data(), blk.encoded.size());
+  for (const auto& blk : blocks)
+    append_bytes(out.bytes, blk.outliers.data(), blk.outliers.size() * sizeof(float));
+  return out;
+}
+
+void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) const {
+  const std::uint8_t* p = buf.bytes.data();
+  const Header h = read_pod<Header>(p);
+  if (h.magic != kMagic) throw std::runtime_error("Compressor::decompress: bad magic");
+  if (out.size() != h.num_elements)
+    throw std::invalid_argument("Compressor::decompress: output size mismatch");
+
+  HuffmanCodec codec;
+  codec.deserialize_table({p, static_cast<std::size_t>(h.table_bytes)});
+  p += h.table_bytes;
+  std::span<const std::uint8_t> rle{p, static_cast<std::size_t>(h.rle_bytes)};
+  p += h.rle_bytes;
+
+  struct BlockMeta {
+    std::uint64_t symbol_count, encoded_bytes, outlier_count;
+    std::size_t encoded_off, outlier_off, out_off;
+  };
+  std::vector<BlockMeta> metas(h.num_blocks);
+  std::size_t enc_off = 0, outl_off = 0, sym_off = 0;
+  for (auto& m : metas) {
+    m.symbol_count = read_pod<std::uint64_t>(p);
+    m.encoded_bytes = read_pod<std::uint64_t>(p);
+    m.outlier_count = read_pod<std::uint64_t>(p);
+    m.encoded_off = enc_off;
+    m.outlier_off = outl_off;
+    m.out_off = sym_off;
+    enc_off += m.encoded_bytes;
+    outl_off += m.outlier_count;
+    sym_off += m.symbol_count;
+  }
+  const std::uint8_t* enc_base = p;
+  const std::uint8_t* outlier_base = p + enc_off;
+
+  std::vector<float> payload(h.num_quantized);
+  const bool two_d = static_cast<Predictor>(h.predictor) == Predictor::kLorenzo2D;
+  const double eb = h.abs_eb;
+  const std::uint32_t radius = h.radius;
+
+  tensor::parallel_for(metas.size(), [&](std::size_t b) {
+    const BlockMeta& m = metas[b];
+    const auto symbols = codec.decode(
+        {enc_base + m.encoded_off, static_cast<std::size_t>(m.encoded_bytes)},
+        static_cast<std::size_t>(m.symbol_count));
+    std::vector<float> outliers(m.outlier_count);
+    std::memcpy(outliers.data(), outlier_base + m.outlier_off * sizeof(float),
+                m.outlier_count * sizeof(float));
+    float* dst = payload.data() + m.out_off;
+    std::size_t oi = 0;
+    if (two_d) {
+      const std::size_t w = cfg_.plane_width;
+      for (std::size_t i = 0; i < symbols.size(); ++i) {
+        const std::size_t r = i / w, c = i % w;
+        const double left = c > 0 ? dst[i - 1] : 0.0;
+        const double top = r > 0 ? dst[i - w] : 0.0;
+        const double tl = (c > 0 && r > 0) ? dst[i - w - 1] : 0.0;
+        const double pred = left + top - tl;
+        if (symbols[i] == 0) {
+          dst[i] = outliers[oi++];
+        } else {
+          const auto code = static_cast<std::int64_t>(symbols[i]) -
+                            static_cast<std::int64_t>(radius);
+          dst[i] = static_cast<float>(pred + static_cast<double>(code) * 2.0 * eb);
+        }
+      }
+    } else {
+      float prev = 0.0f;
+      for (std::size_t i = 0; i < symbols.size(); ++i) {
+        if (symbols[i] == 0) {
+          prev = outliers[oi++];
+        } else {
+          const auto code = static_cast<std::int64_t>(symbols[i]) -
+                            static_cast<std::int64_t>(radius);
+          prev = static_cast<float>(static_cast<double>(prev) +
+                                    static_cast<double>(code) * 2.0 * eb);
+        }
+        dst[i] = prev;
+      }
+    }
+  });
+
+  const auto zero_mode = static_cast<ZeroMode>(h.zero_mode);
+  if (zero_mode == ZeroMode::kExactRle) {
+    BitReader r(rle);
+    std::size_t oi = 0, pi = 0;
+    while (oi < out.size()) {
+      const std::uint64_t zrun = r.get_varint();
+      for (std::uint64_t k = 0; k < zrun && oi < out.size(); ++k) out[oi++] = 0.0f;
+      if (oi >= out.size()) break;
+      const std::uint64_t nzrun = r.get_varint();
+      for (std::uint64_t k = 0; k < nzrun && oi < out.size(); ++k) out[oi++] = payload[pi++];
+    }
+  } else {
+    std::copy(payload.begin(), payload.end(), out.begin());
+    if (zero_mode == ZeroMode::kRezero) {
+      // The paper's decompression filter (§4.4): values under the bound are
+      // re-zeroed so ReLU-induced zeros survive exactly.
+      tensor::parallel_for(out.size(), [&](std::size_t i) {
+        if (std::fabs(static_cast<double>(out[i])) < eb) out[i] = 0.0f;
+      });
+    }
+  }
+}
+
+std::vector<float> Compressor::decompress(const CompressedBuffer& buf) const {
+  std::vector<float> out(buf.num_elements);
+  decompress(buf, out);
+  return out;
+}
+
+double max_abs_error(std::span<const float> original, std::span<const float> reconstructed) {
+  double m = 0.0;
+  const std::size_t n = std::min(original.size(), reconstructed.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(original[i]) -
+                              static_cast<double>(reconstructed[i])));
+  }
+  return m;
+}
+
+}  // namespace ebct::sz

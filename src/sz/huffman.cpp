@@ -1,0 +1,186 @@
+#include "sz/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "sz/bitstream.hpp"
+
+namespace ebct::sz {
+
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  std::int32_t symbol;  // -1 for internal
+  std::int32_t left = -1, right = -1;
+};
+
+/// Compute per-symbol depths of a Huffman tree for `freqs`; returns max depth.
+unsigned tree_depths(std::span<const std::uint64_t> freqs, std::vector<std::uint8_t>& lengths) {
+  std::vector<Node> nodes;
+  using Item = std::pair<std::uint64_t, std::int32_t>;  // (freq, node index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) {
+      nodes.push_back({freqs[s], static_cast<std::int32_t>(s)});
+      heap.emplace(freqs[s], static_cast<std::int32_t>(nodes.size() - 1));
+    }
+  }
+  lengths.assign(freqs.size(), 0);
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) {
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return 1;
+  }
+  while (heap.size() > 1) {
+    auto [fa, ia] = heap.top();
+    heap.pop();
+    auto [fb, ib] = heap.top();
+    heap.pop();
+    nodes.push_back({fa + fb, -1, ia, ib});
+    heap.emplace(fa + fb, static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  // DFS to collect depths without recursion.
+  unsigned max_depth = 0;
+  std::vector<std::pair<std::int32_t, unsigned>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.symbol >= 0) {
+      lengths[static_cast<std::size_t>(n.symbol)] = static_cast<std::uint8_t>(depth ? depth : 1);
+      max_depth = std::max(max_depth, depth ? depth : 1);
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace
+
+void HuffmanCodec::build(std::span<const std::uint64_t> freqs) {
+  std::vector<std::uint64_t> f(freqs.begin(), freqs.end());
+  unsigned depth = tree_depths(f, lengths_);
+  // Flatten extreme skew until the canonical code fits in kMaxCodeLen bits.
+  while (depth > kMaxCodeLen) {
+    for (auto& v : f)
+      if (v > 0) v = (v + 1) / 2;
+    depth = tree_depths(f, lengths_);
+  }
+  assign_canonical();
+}
+
+void HuffmanCodec::assign_canonical() {
+  const std::size_t alphabet = lengths_.size();
+  codes_.assign(alphabet, 0);
+  unsigned max_len = 0;
+  for (auto l : lengths_) max_len = std::max<unsigned>(max_len, l);
+  count_.assign(max_len + 1, 0);
+  for (auto l : lengths_)
+    if (l > 0) ++count_[l];
+
+  first_code_.assign(max_len + 1, 0);
+  offset_.assign(max_len + 1, 0);
+  std::uint32_t code = 0;
+  std::uint32_t off = 0;
+  for (unsigned len = 1; len <= max_len; ++len) {
+    first_code_[len] = code;
+    offset_[len] = off;
+    code = (code + count_[len]) << 1;
+    off += count_[len];
+  }
+  sorted_symbols_.clear();
+  sorted_symbols_.reserve(off);
+  // Symbols sorted by (length, symbol) get consecutive canonical codes.
+  std::vector<std::uint32_t> next = first_code_;
+  std::vector<std::uint32_t> fill(max_len + 1, 0);
+  sorted_symbols_.assign(off, 0);
+  for (std::uint32_t s = 0; s < alphabet; ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0) continue;
+    codes_[s] = next[len]++;
+    sorted_symbols_[offset_[len] + fill[len]++] = s;
+  }
+}
+
+std::vector<std::uint8_t> HuffmanCodec::encode(std::span<const std::uint32_t> symbols) const {
+  BitWriter w;
+  for (std::uint32_t s : symbols) {
+    const unsigned len = lengths_[s];
+    if (len == 0) throw std::logic_error("HuffmanCodec::encode: symbol has no code");
+    w.put(codes_[s], len);
+  }
+  return w.finish();
+}
+
+std::vector<std::uint32_t> HuffmanCodec::decode(std::span<const std::uint8_t> bytes,
+                                                std::size_t count) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  BitReader r(bytes);
+  const unsigned max_len = static_cast<unsigned>(count_.size()) - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint32_t code = 0;
+    unsigned len = 0;
+    while (true) {
+      code = (code << 1) | (r.get_bit() ? 1u : 0u);
+      ++len;
+      if (len > max_len) throw std::runtime_error("HuffmanCodec::decode: corrupt stream");
+      if (count_[len] > 0 && code >= first_code_[len] &&
+          code - first_code_[len] < count_[len]) {
+        out.push_back(sorted_symbols_[offset_[len] + (code - first_code_[len])]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> HuffmanCodec::serialize_table() const {
+  // Varint alphabet size, then run-length-encoded lengths (value, run).
+  BitWriter w;
+  w.put_varint(lengths_.size());
+  std::size_t i = 0;
+  while (i < lengths_.size()) {
+    std::size_t j = i;
+    while (j < lengths_.size() && lengths_[j] == lengths_[i]) ++j;
+    w.put_varint(lengths_[i]);
+    w.put_varint(j - i);
+    i = j;
+  }
+  return w.finish();
+}
+
+void HuffmanCodec::deserialize_table(std::span<const std::uint8_t> bytes) {
+  BitReader r(bytes);
+  const std::size_t alphabet = r.get_varint();
+  lengths_.assign(alphabet, 0);
+  std::size_t i = 0;
+  while (i < alphabet) {
+    const auto len = static_cast<std::uint8_t>(r.get_varint());
+    const std::size_t run = r.get_varint();
+    if (i + run > alphabet) throw std::runtime_error("Huffman table: corrupt run length");
+    for (std::size_t k = 0; k < run; ++k) lengths_[i + k] = len;
+    i += run;
+  }
+  assign_canonical();
+}
+
+double HuffmanCodec::entropy_bits(std::span<const std::uint64_t> freqs) {
+  std::uint64_t total = 0;
+  for (auto f : freqs) total += f;
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (auto f : freqs) {
+    if (f == 0) continue;
+    const double p = static_cast<double>(f) / static_cast<double>(total);
+    bits += -static_cast<double>(f) * std::log2(p);
+  }
+  return bits;
+}
+
+}  // namespace ebct::sz

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file huffman.hpp
+/// Canonical Huffman coder over 32-bit symbols (quantization codes). This is
+/// the entropy-coding stage of the SZ pipeline (cuSZ step 3). Code lengths are
+/// capped at kMaxCodeLen by iterative frequency flattening.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ebct::sz {
+
+class HuffmanCodec {
+ public:
+  static constexpr unsigned kMaxCodeLen = 32;
+
+  /// Build the code table from symbol frequencies (index = symbol).
+  void build(std::span<const std::uint64_t> freqs);
+
+  /// Encode `symbols` (each < alphabet size) into a byte vector.
+  std::vector<std::uint8_t> encode(std::span<const std::uint32_t> symbols) const;
+
+  /// Decode exactly `count` symbols from `bytes`.
+  std::vector<std::uint32_t> decode(std::span<const std::uint8_t> bytes,
+                                    std::size_t count) const;
+
+  /// Serialize the code-length table (enough to reconstruct canonical codes).
+  std::vector<std::uint8_t> serialize_table() const;
+  void deserialize_table(std::span<const std::uint8_t> bytes);
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+  unsigned code_length(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+  /// Shannon-optimal size estimate in bits for the given frequencies.
+  static double entropy_bits(std::span<const std::uint64_t> freqs);
+
+ private:
+  void assign_canonical();
+
+  std::vector<std::uint8_t> lengths_;    // per-symbol code length (0 = unused)
+  std::vector<std::uint32_t> codes_;     // per-symbol canonical code
+  // Canonical decode tables.
+  std::vector<std::uint32_t> first_code_;    // per length
+  std::vector<std::uint32_t> offset_;        // per length, into sorted_symbols_
+  std::vector<std::uint32_t> count_;         // per length
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+}  // namespace ebct::sz

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file lz77.hpp
+/// Deflate-style general-purpose lossless byte compressor: greedy LZ77 with
+/// a hash-chain matcher over a 64 KiB window, followed by canonical Huffman
+/// coding of the literal/length symbols and distance symbols. SZ's third
+/// stage ("customized Huffman coding AND lossless compression") uses this to
+/// squeeze the Huffman-coded quantization stream further, and the lossless
+/// activation baseline uses it standalone.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ebct::sz {
+
+/// Compress arbitrary bytes. Output is self-describing (header + streams).
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input);
+
+/// Inverse of lz77_compress. Throws std::runtime_error on corrupt input.
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace ebct::sz

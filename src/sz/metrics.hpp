@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Quality metrics for compressed reconstructions: error-bound verification,
+/// PSNR, and per-element error extraction used by the Fig. 3 bench.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace ebct::sz {
+
+/// True iff every |orig - recon| <= eb * (1 + slack).
+inline bool within_bound(std::span<const float> orig, std::span<const float> recon,
+                         double eb, double slack = 1e-6) {
+  if (orig.size() != recon.size()) return false;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    if (std::fabs(static_cast<double>(orig[i]) - static_cast<double>(recon[i])) >
+        eb * (1.0 + slack)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-element reconstruction errors (recon - orig), the quantity whose
+/// distribution Fig. 3 plots.
+inline std::vector<float> pointwise_errors(std::span<const float> orig,
+                                           std::span<const float> recon) {
+  std::vector<float> e(orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) e[i] = recon[i] - orig[i];
+  return e;
+}
+
+/// Peak signal-to-noise ratio in dB against the data range.
+inline double psnr(std::span<const float> orig, std::span<const float> recon) {
+  if (orig.empty()) return 0.0;
+  double lo = orig[0], hi = orig[0], mse = 0.0;
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    lo = std::min<double>(lo, orig[i]);
+    hi = std::max<double>(hi, orig[i]);
+    const double d = static_cast<double>(orig[i]) - static_cast<double>(recon[i]);
+    mse += d * d;
+  }
+  mse /= static_cast<double>(orig.size());
+  const double range = hi - lo;
+  if (mse == 0.0 || range == 0.0) return 999.0;
+  return 20.0 * std::log10(range) - 10.0 * std::log10(mse);
+}
+
+}  // namespace ebct::sz

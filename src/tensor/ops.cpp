@@ -1,0 +1,172 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/parallel.hpp"
+
+namespace ebct::tensor {
+
+namespace {
+// Register-blocking tile for the k loop; keeps the inner loop vectorisable.
+constexpr std::size_t kKTile = 256;
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate) {
+  parallel_for(m, [&](std::size_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
+    for (std::size_t k0 = 0; k0 < k; k0 += kKTile) {
+      const std::size_t k1 = std::min(k, k0 + kKTile);
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float av = a[i * k + kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  });
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  // A is [k, m]; we compute C[i,j] = sum_kk A[kk,i] * B[kk,j].
+  parallel_for(m, [&](std::size_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a[kk * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  // B is [n, k]; C[i,j] = dot(A.row(i), B.row(j)).
+  parallel_for(m, [&](std::size_t i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      if (accumulate)
+        crow[j] += acc;
+      else
+        crow[j] = acc;
+    }
+  });
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  const std::size_t n = x.size();
+  parallel_for(n, [&](std::size_t i) { y[i] += alpha * x[i]; });
+}
+
+void scale(float alpha, std::span<float> x) {
+  parallel_for(x.size(), [&](std::size_t i) { x[i] *= alpha; });
+}
+
+double sum(std::span<const float> x) {
+  return parallel_sum(x.size(), [&](std::size_t i) { return static_cast<double>(x[i]); });
+}
+
+double mean_abs(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  const double s =
+      parallel_sum(x.size(), [&](std::size_t i) { return std::fabs(static_cast<double>(x[i])); });
+  return s / static_cast<double>(x.size());
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(max : m)
+#endif
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(x.size()); ++i) {
+    const float v = std::fabs(x[static_cast<std::size_t>(i)]);
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+double nonzero_fraction(std::span<const float> x) {
+  if (x.empty()) return 0.0;
+  const double nz =
+      parallel_sum(x.size(), [&](std::size_t i) { return x[i] != 0.0f ? 1.0 : 0.0; });
+  return nz / static_cast<double>(x.size());
+}
+
+void im2col(const float* img, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t pad, float* cols, std::size_t pad_w) {
+  if (pad_w == kSamePad) pad_w = pad;
+  const std::size_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, kw, stride, pad_w);
+  const std::size_t col_stride = out_h * out_w;
+  // Row r of the column matrix corresponds to (c, ki, kj).
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        float* dst = cols + ((c * kh + ki) * kw + kj) * col_stride;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ki) - static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+            std::memset(dst + oy * out_w, 0, out_w * sizeof(float));
+            continue;
+          }
+          const float* src = img + (c * height + static_cast<std::size_t>(iy)) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad_w);
+            dst[oy * out_w + ox] =
+                (ix >= 0 && ix < static_cast<std::ptrdiff_t>(width))
+                    ? src[static_cast<std::size_t>(ix)]
+                    : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::size_t channels, std::size_t height,
+            std::size_t width, std::size_t kh, std::size_t kw, std::size_t stride,
+            std::size_t pad, float* img, std::size_t pad_w) {
+  if (pad_w == kSamePad) pad_w = pad;
+  const std::size_t out_h = conv_out_dim(height, kh, stride, pad);
+  const std::size_t out_w = conv_out_dim(width, kw, stride, pad_w);
+  const std::size_t col_stride = out_h * out_w;
+  std::memset(img, 0, channels * height * width * sizeof(float));
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj) {
+        const float* src = cols + ((c * kh + ki) * kw + kj) * col_stride;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * stride + ki) - static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) continue;
+          float* dstrow = img + (c * height + static_cast<std::size_t>(iy)) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * stride + kj) -
+                static_cast<std::ptrdiff_t>(pad_w);
+            if (ix >= 0 && ix < static_cast<std::ptrdiff_t>(width)) {
+              dstrow[static_cast<std::size_t>(ix)] += src[oy * out_w + ox];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ebct::tensor

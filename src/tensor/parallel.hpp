@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Thin OpenMP wrappers so the rest of the library never touches raw pragmas.
+/// Grain-size aware: small loops run serially to avoid fork/join overhead.
+
+#include <cstddef>
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace ebct::tensor {
+
+/// Number of worker threads the runtime will use for parallel regions.
+inline int hardware_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Minimum iteration count below which parallel_for runs serially.
+inline constexpr std::size_t kParallelGrain = 4096;
+
+/// Run `fn(i)` for i in [0, n). Parallelises across OpenMP threads when the
+/// trip count justifies it. `fn` must be safe to call concurrently for
+/// distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  if (n < kParallelGrain) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Run `fn(begin, end, chunk_index)` over disjoint chunks of [0, n) — one
+/// chunk per thread. The chunk index is deterministic (derived from the
+/// range, not from scheduling order), so per-chunk accumulators can be
+/// reduced in a reproducible order.
+template <typename Fn>
+void parallel_chunks(std::size_t n, Fn&& fn) {
+  if (n == 0) return;
+#ifdef _OPENMP
+  if (n >= kParallelGrain || hardware_threads() > 1) {
+#pragma omp parallel
+    {
+      const std::size_t nthreads = static_cast<std::size_t>(omp_get_num_threads());
+      const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
+      const std::size_t chunk = (n + nthreads - 1) / nthreads;
+      const std::size_t begin = tid * chunk;
+      const std::size_t end = begin + chunk < n ? begin + chunk : n;
+      if (begin < end) fn(begin, end, tid);
+    }
+    return;
+  }
+#endif
+  fn(static_cast<std::size_t>(0), n, static_cast<std::size_t>(0));
+}
+
+/// Sum-reduce `fn(i)` over [0, n) in parallel.
+template <typename Fn>
+double parallel_sum(std::size_t n, Fn&& fn) {
+  double total = 0.0;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    total += fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) total += fn(i);
+#endif
+  return total;
+}
+
+}  // namespace ebct::tensor

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation. A single Rng owns a 64-bit
+/// SplitMix-seeded xoshiro256** state; all fills used in experiments go
+/// through this type so results are reproducible from one seed.
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace ebct::tensor {
+
+/// xoshiro256** PRNG — fast, high-quality, suitable for statistical work.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+    gauss_cached_ = false;
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Standard normal via Box–Muller with caching of the second deviate.
+  double normal() {
+    if (gauss_cached_) {
+      gauss_cached_ = false;
+      return gauss_cache_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    gauss_cache_ = r * std::sin(theta);
+    gauss_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // --- span fills -----------------------------------------------------------
+
+  void fill_uniform(std::span<float> out, float lo, float hi) {
+    for (auto& v : out) v = static_cast<float>(uniform(lo, hi));
+  }
+
+  void fill_normal(std::span<float> out, float mean, float stddev) {
+    for (auto& v : out) v = static_cast<float>(normal(mean, stddev));
+  }
+
+  /// Fill to mimic post-ReLU activations: `sparsity` fraction of exact zeros,
+  /// remainder half-normal with the given scale. This is the activation
+  /// texture the paper's conv layers see after ReLU.
+  void fill_relu_like(std::span<float> out, double sparsity, float scale) {
+    for (auto& v : out) {
+      if (uniform() < sparsity) {
+        v = 0.0f;
+      } else {
+        v = static_cast<float>(std::fabs(normal(0.0, scale)));
+      }
+    }
+  }
+
+  /// Fisher–Yates shuffle of an index span.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t state_[4]{};
+  double gauss_cache_ = 0.0;
+  bool gauss_cached_ = false;
+};
+
+}  // namespace ebct::tensor

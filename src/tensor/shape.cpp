@@ -1,0 +1,15 @@
+#include "tensor/shape.hpp"
+
+namespace ebct::tensor {
+
+std::string Shape::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace ebct::tensor

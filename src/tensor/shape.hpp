@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file shape.hpp
+/// Fixed-capacity tensor shape (rank ≤ 4) used throughout the library.
+/// Convention: 4-D shapes are NCHW (batch, channels, height, width).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace ebct::tensor {
+
+/// Shape of a dense tensor, rank 0..4, NCHW layout for rank-4.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::size_t> dims) {
+    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (std::size_t d : dims) dims_[i++] = d;
+  }
+
+  static Shape nchw(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return Shape{n, c, h, w};
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::size_t dim(std::size_t i) const {
+    if (i >= rank_) throw std::out_of_range("Shape::dim index out of range");
+    return dims_[i];
+  }
+
+  std::size_t operator[](std::size_t i) const { return dims_[i]; }
+
+  /// Total number of elements; 1 for rank-0 (scalar), 0 if any dim is 0.
+  std::size_t numel() const {
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  // NCHW accessors (valid for rank-4; for lower ranks they throw).
+  std::size_t n() const { return dim(0); }
+  std::size_t c() const { return dim(1); }
+  std::size_t h() const { return dim(2); }
+  std::size_t w() const { return dim(3); }
+
+  /// Flat offset of (n, c, h, w) in a rank-4 row-major layout.
+  std::size_t offset(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return ((n * dims_[1] + c) * dims_[2] + h) * dims_[3] + w;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i)
+      if (dims_[i] != o.dims_[i]) return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace ebct::tensor

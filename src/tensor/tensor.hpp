@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tensor.hpp
+/// Dense float32 tensor with NCHW layout, owning storage tracked by
+/// AllocTracker. Move-only semantics are avoided deliberately: copies are
+/// explicit via clone() so accidental deep copies can't hide in layer code.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/alloc.hpp"
+#include "tensor/shape.hpp"
+
+namespace ebct::tensor {
+
+/// Owning, contiguous, row-major float tensor.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape shape) : shape_(shape) { allocate(); }
+
+  Tensor(Shape shape, float fill) : shape_(shape) {
+    allocate();
+    for (auto& v : data_) v = fill;
+  }
+
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  Tensor(Tensor&& o) noexcept { *this = std::move(o); }
+  Tensor& operator=(Tensor&& o) noexcept {
+    if (this != &o) {
+      release();
+      shape_ = o.shape_;
+      data_ = std::move(o.data_);
+      tracked_bytes_ = o.tracked_bytes_;
+      o.shape_ = Shape();
+      o.tracked_bytes_ = 0;
+    }
+    return *this;
+  }
+
+  ~Tensor() { release(); }
+
+  /// Deep copy (explicit; Tensor is otherwise move-only).
+  Tensor clone() const {
+    Tensor t(shape_);
+    t.data_ = data_;
+    return t;
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(float); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW element access (rank-4 tensors).
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[shape_.offset(n, c, h, w)];
+  }
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[shape_.offset(n, c, h, w)];
+  }
+
+  void zero() {
+    for (auto& v : data_) v = 0.0f;
+  }
+
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+
+  /// Reinterpret the same storage under a new shape with equal numel.
+  void reshape(Shape s) {
+    if (s.numel() != numel()) throw std::invalid_argument("Tensor::reshape numel mismatch");
+    shape_ = s;
+  }
+
+  /// Free the storage but remember the shape (used by activation stores that
+  /// replace raw data with a compressed representation).
+  void drop_storage() {
+    release();
+    data_.clear();
+    data_.shrink_to_fit();
+  }
+
+  /// Re-allocate storage for the remembered shape after drop_storage().
+  void restore_storage() {
+    if (!data_.empty()) return;
+    allocate();
+  }
+
+ private:
+  void allocate() {
+    data_.assign(shape_.numel(), 0.0f);
+    tracked_bytes_ = data_.size() * sizeof(float);
+    AllocTracker::instance().on_alloc(tracked_bytes_);
+  }
+  void release() {
+    if (tracked_bytes_ != 0) {
+      AllocTracker::instance().on_free(tracked_bytes_);
+      tracked_bytes_ = 0;
+    }
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+  std::size_t tracked_bytes_ = 0;
+};
+
+}  // namespace ebct::tensor

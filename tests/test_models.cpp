@@ -1,0 +1,152 @@
+// Model-zoo tests: the four paper networks build, have the published
+// geometry at 224 px (conv-activation sizes feed Table 1 / Fig. 2), and
+// train end-to-end at reduced resolution.
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/softmax_xent.hpp"
+#include "util/test_util.hpp"
+
+namespace ebct::models {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ModelZoo, RegistryHasFourModels) {
+  const auto names = model_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const auto& n : names) EXPECT_NO_THROW(find_model(n));
+  EXPECT_THROW(find_model("LeNet"), std::invalid_argument);
+}
+
+struct ZooCase {
+  const char* name;
+  std::size_t expected_convs;
+};
+
+class ZooTest : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooTest, BuildsAndTracesAt224) {
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  cfg.num_classes = 1000;
+  auto net = find_model(GetParam().name)(cfg);
+  const auto trace = net->shape_trace(Shape::nchw(1, 3, 224, 224));
+  EXPECT_EQ(trace.back().second, Shape({1, 1000}));
+}
+
+TEST_P(ZooTest, ConvCountMatchesArchitecture) {
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  auto net = find_model(GetParam().name)(cfg);
+  std::size_t convs = 0;
+  net->visit([&](nn::Layer& l) {
+    if (dynamic_cast<nn::Conv2d*>(&l)) ++convs;
+  });
+  EXPECT_EQ(convs, GetParam().expected_convs);
+}
+
+TEST_P(ZooTest, SmallResolutionForwardBackward) {
+  ModelConfig cfg;
+  cfg.input_hw = 16;
+  cfg.num_classes = 5;
+  cfg.width_multiplier = 0.125;
+  auto net = find_model(GetParam().name)(cfg);
+  Tensor x = ebct::testutil::random_tensor(Shape::nchw(2, 3, 16, 16), 111);
+  Tensor logits = net->forward(x, true);
+  EXPECT_EQ(logits.shape(), Shape({2, 5}));
+  nn::SoftmaxCrossEntropy head;
+  std::vector<std::int32_t> labels{0, 3};
+  const auto r = head.compute(logits, labels);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  Tensor g = net->backward(r.grad_logits);
+  EXPECT_EQ(g.shape(), x.shape());
+  for (nn::Param* p : net->params()) {
+    double mag = 0.0;
+    for (std::size_t i = 0; i < p->grad.numel(); ++i) mag += std::fabs(p->grad[i]);
+    EXPECT_TRUE(std::isfinite(mag)) << p->name;
+  }
+}
+
+// Conv counts: AlexNet 5; VGG-16 13; ResNet-18 = 17 conv in blocks + stem
+// + 3 projections = 20; ResNet-50 = stem + 3*16 main convs... computed from
+// the architecture: stem 1, 16 bottlenecks x3 convs = 48, 4 projections -> 53.
+INSTANTIATE_TEST_SUITE_P(Networks, ZooTest,
+                         ::testing::Values(ZooCase{"AlexNet", 5},
+                                           ZooCase{"VGG-16", 13},
+                                           ZooCase{"ResNet-18", 20},
+                                           ZooCase{"ResNet-50", 53}));
+
+TEST(ModelZoo, AlexNetConvActivationSizeAt224Batch32) {
+  // The paper (Table 1) reports 407 MB of conv activations for AlexNet at
+  // batch 256... our accounting counts the conv *inputs* at batch 32 and
+  // must land in the right order of magnitude when scaled.
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  auto net = make_alexnet(cfg);
+  const std::size_t bytes = net->conv_activation_bytes(Shape::nchw(32, 3, 224, 224));
+  EXPECT_GT(bytes, 30ull << 20);
+  EXPECT_LT(bytes, 2ull << 30);
+}
+
+TEST(ModelZoo, Vgg16HasLargestActivationFootprint) {
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  const Shape in = Shape::nchw(4, 3, 224, 224);
+  const std::size_t alex = make_alexnet(cfg)->conv_activation_bytes(in);
+  const std::size_t vgg = make_vgg16(cfg)->conv_activation_bytes(in);
+  const std::size_t r18 = make_resnet18(cfg)->conv_activation_bytes(in);
+  EXPECT_GT(vgg, alex);
+  EXPECT_GT(vgg, r18);  // paper Fig. 2 / Table 1: VGG-16 9.3 GB dominates
+}
+
+TEST(ModelZoo, ResNet50DeeperThanResNet18) {
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  auto r18 = make_resnet18(cfg);
+  auto r50 = make_resnet50(cfg);
+  EXPECT_GT(r50->num_parameters(), r18->num_parameters());
+  const Shape in = Shape::nchw(1, 3, 224, 224);
+  EXPECT_GT(r50->conv_activation_bytes(in), r18->conv_activation_bytes(in));
+}
+
+TEST(ModelZoo, WidthMultiplierScalesParameters) {
+  ModelConfig full;
+  full.input_hw = 32;
+  ModelConfig half = full;
+  half.width_multiplier = 0.5;
+  const auto pf = make_resnet18(full)->num_parameters();
+  const auto ph = make_resnet18(half)->num_parameters();
+  EXPECT_LT(ph, pf / 2);  // parameters scale ~quadratically in width
+}
+
+TEST(ModelZoo, DeterministicInitFromSeed) {
+  ModelConfig cfg;
+  cfg.input_hw = 16;
+  cfg.width_multiplier = 0.25;
+  auto a = make_resnet18(cfg);
+  auto b = make_resnet18(cfg);
+  auto pa = a->params();
+  auto pb = b->params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->value.numel(), pb[i]->value.numel());
+    for (std::size_t j = 0; j < pa[i]->value.numel(); ++j)
+      EXPECT_EQ(pa[i]->value[j], pb[i]->value[j]);
+  }
+}
+
+TEST(ModelZoo, AlexNetStemIsStride4At224) {
+  ModelConfig cfg;
+  cfg.input_hw = 224;
+  auto net = make_alexnet(cfg);
+  const auto trace = net->shape_trace(Shape::nchw(1, 3, 224, 224));
+  // conv1 output: (224 + 2*2 - 11)/4 + 1 = 55.
+  EXPECT_EQ(trace.front().second, Shape::nchw(1, 96, 55, 55));
+}
+
+}  // namespace
+}  // namespace ebct::models

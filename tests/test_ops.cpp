@@ -1,0 +1,146 @@
+// Unit tests for the linear-algebra kernels: GEMM family vs naive reference,
+// im2col/col2im adjointness, reductions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+namespace ebct::tensor {
+namespace {
+
+void naive_gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+                std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += double(a[i * k + kk]) * b[kk * n + j];
+      c[i * n + j] = static_cast<float>(acc);
+    }
+}
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(11);
+  std::vector<float> a(m * k), b(k * n), c(m * n), ref(m * n);
+  rng.fill_uniform({a.data(), a.size()}, -1, 1);
+  rng.fill_uniform({b.data(), b.size()}, -1, 1);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+TEST_P(GemmTest, TransposedAMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(12);
+  std::vector<float> at(k * m), b(k * n), c(m * n), ref(m * n);
+  rng.fill_uniform({at.data(), at.size()}, -1, 1);
+  rng.fill_uniform({b.data(), b.size()}, -1, 1);
+  // Build A from A^T then compare against naive on A.
+  std::vector<float> a(m * k);
+  for (std::size_t kk = 0; kk < k; ++kk)
+    for (std::size_t i = 0; i < m; ++i) a[i * k + kk] = at[kk * m + i];
+  gemm_at(at.data(), b.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+TEST_P(GemmTest, TransposedBMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(13);
+  std::vector<float> a(m * k), bt(n * k), c(m * n), ref(m * n);
+  rng.fill_uniform({a.data(), a.size()}, -1, 1);
+  rng.fill_uniform({bt.data(), bt.size()}, -1, 1);
+  std::vector<float> b(k * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t kk = 0; kk < k; ++kk) b[kk * n + j] = bt[j * k + kk];
+  gemm_bt(a.data(), bt.data(), c.data(), m, k, n);
+  naive_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], ref[i], 1e-3) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmTest,
+                         ::testing::Values(GemmCase{1, 1, 1}, GemmCase{3, 5, 7},
+                                           GemmCase{16, 16, 16}, GemmCase{33, 65, 17},
+                                           GemmCase{128, 300, 64}, GemmCase{1, 512, 1}));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  std::vector<float> a{1, 2, 3, 4}, b{1, 0, 0, 1}, c{10, 10, 10, 10};
+  gemm(a.data(), b.data(), c.data(), 2, 2, 2, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Axpy, AddsScaled) {
+  std::vector<float> x{1, 2, 3}, y{10, 20, 30};
+  axpy(2.0f, {x.data(), 3}, {y.data(), 3});
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+}
+
+TEST(Reductions, SumMeanAbsMaxAbsNonzero) {
+  std::vector<float> v{-1.0f, 0.0f, 2.0f, -3.0f};
+  EXPECT_DOUBLE_EQ(sum({v.data(), v.size()}), -2.0);
+  EXPECT_DOUBLE_EQ(mean_abs({v.data(), v.size()}), 1.5);
+  EXPECT_FLOAT_EQ(max_abs({v.data(), v.size()}), 3.0f);
+  EXPECT_DOUBLE_EQ(nonzero_fraction({v.data(), v.size()}), 0.75);
+}
+
+TEST(Reductions, EmptySpansAreZero) {
+  EXPECT_DOUBLE_EQ(mean_abs({}), 0.0);
+  EXPECT_DOUBLE_EQ(nonzero_fraction({}), 0.0);
+}
+
+TEST(ConvOutDim, StandardCases) {
+  EXPECT_EQ(conv_out_dim(224, 11, 4, 2), 55u);  // AlexNet conv1
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32u);    // same-padding 3x3
+  EXPECT_EQ(conv_out_dim(56, 3, 2, 1), 28u);    // stride-2 downsample
+  EXPECT_EQ(conv_out_dim(8, 2, 2, 0), 4u);      // 2x2 pool
+}
+
+TEST(Im2col, IdentityKernelReproducesImage) {
+  // 1x1 kernel, stride 1, no pad: cols == image.
+  Rng rng(14);
+  std::vector<float> img(3 * 5 * 5), cols(3 * 5 * 5);
+  rng.fill_uniform({img.data(), img.size()}, -1, 1);
+  im2col(img.data(), 3, 5, 5, 1, 1, 1, 0, cols.data());
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_FLOAT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  std::vector<float> img(1 * 2 * 2, 1.0f);
+  const std::size_t oh = conv_out_dim(2, 3, 1, 1);
+  std::vector<float> cols(1 * 3 * 3 * oh * oh);
+  im2col(img.data(), 1, 2, 2, 3, 3, 1, 1, cols.data());
+  // Top-left kernel tap at output (0,0) reads the padded corner.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+}
+
+TEST(Im2colCol2im, AdjointIdentity) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property that makes conv backward correct.
+  Rng rng(15);
+  const std::size_t C = 2, H = 6, W = 7, K = 3, S = 2, P = 1;
+  const std::size_t oh = conv_out_dim(H, K, S, P), ow = conv_out_dim(W, K, S, P);
+  const std::size_t cols_size = C * K * K * oh * ow;
+  std::vector<float> x(C * H * W), y(cols_size), cx(cols_size), iy(C * H * W);
+  rng.fill_uniform({x.data(), x.size()}, -1, 1);
+  rng.fill_uniform({y.data(), y.size()}, -1, 1);
+  im2col(x.data(), C, H, W, K, K, S, P, cx.data());
+  col2im(y.data(), C, H, W, K, K, S, P, iy.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols_size; ++i) lhs += double(cx[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * iy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace ebct::tensor

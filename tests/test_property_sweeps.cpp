@@ -1,0 +1,229 @@
+// Property-style parameterised sweeps: broad cross-products of configuration
+// space asserting the library's core invariants —
+//   * the compressor's error-bound contract across predictor/zero-mode/
+//     radius/block-size/data-shape combinations,
+//   * conv gradient correctness across kernel/stride/pad/rect geometries,
+//   * training runs for every (model x activation store) pair,
+//   * lossless roundtrips across sparsity and size.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/lossless.hpp"
+#include "core/session.hpp"
+#include "core/sz_codec.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "sz/compressor.hpp"
+#include "sz/lz77.hpp"
+#include "sz/metrics.hpp"
+#include "util/test_util.hpp"
+
+namespace ebct {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// --- Compressor contract sweep ---------------------------------------------------
+
+struct CompressorCase {
+  double eb;
+  sz::ZeroMode zero_mode;
+  std::uint32_t radius;
+  std::uint32_t block_size;
+  double sparsity;
+  float scale;
+  std::size_t n;
+};
+
+class CompressorContract : public ::testing::TestWithParam<CompressorCase> {};
+
+TEST_P(CompressorContract, BoundHoldsAndRoundtrips) {
+  const auto& c = GetParam();
+  Rng rng(7000 + static_cast<std::uint64_t>(c.n));
+  std::vector<float> data(c.n);
+  rng.fill_relu_like({data.data(), c.n}, c.sparsity, c.scale);
+  sz::Config cfg;
+  cfg.error_bound = c.eb;
+  cfg.zero_mode = c.zero_mode;
+  cfg.radius = c.radius;
+  cfg.block_size = c.block_size;
+  sz::Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), c.n});
+  EXPECT_EQ(buf.num_elements, c.n);
+  const auto recon = comp.decompress(buf);
+  ASSERT_EQ(recon.size(), c.n);
+  // kRezero admits up to 2eb on re-zeroed elements; others are strict.
+  const double bound = c.zero_mode == sz::ZeroMode::kRezero ? 2.0 * c.eb : c.eb;
+  EXPECT_TRUE(sz::within_bound({data.data(), c.n}, {recon.data(), c.n}, bound))
+      << "max err " << sz::max_abs_error({data.data(), c.n}, {recon.data(), c.n});
+  if (c.zero_mode != sz::ZeroMode::kNone) {
+    for (std::size_t i = 0; i < c.n; ++i) {
+      if (data[i] == 0.0f) {
+        ASSERT_EQ(recon[i], 0.0f) << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressorContract,
+    ::testing::Values(
+        CompressorCase{1e-2, sz::ZeroMode::kNone, 32768, 65536, 0.5, 1.0f, 40000},
+        CompressorCase{1e-3, sz::ZeroMode::kRezero, 32768, 65536, 0.5, 1.0f, 40000},
+        CompressorCase{1e-4, sz::ZeroMode::kExactRle, 32768, 65536, 0.7, 1.0f, 40000},
+        CompressorCase{1e-3, sz::ZeroMode::kRezero, 256, 65536, 0.5, 1.0f, 40000},
+        CompressorCase{1e-3, sz::ZeroMode::kExactRle, 16, 1024, 0.3, 1.0f, 20000},
+        CompressorCase{1e-5, sz::ZeroMode::kNone, 32768, 512, 0.0, 0.01f, 20000},
+        CompressorCase{1e-1, sz::ZeroMode::kRezero, 32768, 65536, 0.9, 10.0f, 20000},
+        CompressorCase{1e-3, sz::ZeroMode::kExactRle, 32768, 65536, 1.0, 1.0f, 5000},
+        CompressorCase{1e-3, sz::ZeroMode::kNone, 32768, 65536, 0.5, 1e4f, 20000},
+        CompressorCase{1e-6, sz::ZeroMode::kRezero, 32768, 65536, 0.5, 1.0f, 10000},
+        CompressorCase{1e-3, sz::ZeroMode::kNone, 32768, 65536, 0.5, 1.0f, 1},
+        CompressorCase{1e-3, sz::ZeroMode::kExactRle, 32768, 65536, 0.5, 1.0f, 2}));
+
+// --- Conv geometry gradient sweep ------------------------------------------------
+
+struct ConvCase {
+  std::size_t in_c, out_c, kh, kw, stride, pad, pad_w, hw;
+};
+
+class ConvGeometry : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometry, InputAndWeightGradientsCorrect) {
+  const auto& c = GetParam();
+  Rng rng(7100);
+  nn::Conv2dSpec spec;
+  spec.in_channels = c.in_c;
+  spec.out_channels = c.out_c;
+  spec.kernel = c.kh;
+  spec.kernel_w = c.kw;
+  spec.stride = c.stride;
+  spec.pad = c.pad;
+  spec.pad_w = c.pad_w;
+  spec.bias = true;
+  nn::Conv2d conv("c", spec, rng);
+  nn::RawStore store;
+  conv.set_store(&store);
+  const Shape in_shape = Shape::nchw(2, c.in_c, c.hw, c.hw);
+  auto make = [&] { return testutil::random_tensor(in_shape, 7101); };
+  EXPECT_LT(testutil::check_input_gradient(conv, make, 1e-3, 32), 2e-2);
+  conv.weight().grad.zero();
+  EXPECT_LT(testutil::check_param_gradient(conv, conv.weight(), make, 1e-3, 24), 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometry,
+    ::testing::Values(ConvCase{1, 1, 1, 0, 1, 0, nn::Conv2dSpec::kNoOverride, 5},
+                      ConvCase{2, 3, 3, 0, 1, 1, nn::Conv2dSpec::kNoOverride, 6},
+                      ConvCase{3, 2, 5, 0, 2, 2, nn::Conv2dSpec::kNoOverride, 9},
+                      ConvCase{2, 2, 3, 0, 2, 0, nn::Conv2dSpec::kNoOverride, 7},
+                      ConvCase{2, 2, 1, 7, 1, 0, 3, 8},   // 1x7 (Inception-B)
+                      ConvCase{2, 2, 7, 1, 1, 3, 0, 8},   // 7x1
+                      ConvCase{2, 2, 1, 3, 1, 0, 1, 6},   // 1x3 (Inception-C)
+                      ConvCase{4, 4, 3, 0, 1, 1, nn::Conv2dSpec::kNoOverride, 4}));
+
+// --- Model x store training matrix ------------------------------------------------
+
+struct MatrixCase {
+  const char* model;
+  core::StoreMode mode;
+};
+
+class ModelStoreMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ModelStoreMatrix, FiveIterationsFiniteLoss) {
+  const auto& c = GetParam();
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 3;
+  mcfg.width_multiplier = 0.125;
+  auto net = models::find_model(c.model)(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 3;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 24;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true);
+  core::SessionConfig cfg;
+  cfg.mode = c.mode;
+  cfg.framework.active_factor_w = 3;
+  cfg.base_lr = 0.01;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(5);
+  for (const auto& rec : session.history()) {
+    ASSERT_TRUE(std::isfinite(rec.loss)) << c.model;
+  }
+  if (c.mode == core::StoreMode::kFramework) {
+    EXPECT_GT(session.history().back().mean_compression_ratio, 1.0) << c.model;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ModelStoreMatrix,
+    ::testing::Values(MatrixCase{"AlexNet", core::StoreMode::kBaseline},
+                      MatrixCase{"AlexNet", core::StoreMode::kFramework},
+                      MatrixCase{"VGG-16", core::StoreMode::kBaseline},
+                      MatrixCase{"VGG-16", core::StoreMode::kFramework},
+                      MatrixCase{"ResNet-18", core::StoreMode::kBaseline},
+                      MatrixCase{"ResNet-18", core::StoreMode::kFramework},
+                      MatrixCase{"ResNet-50", core::StoreMode::kBaseline},
+                      MatrixCase{"ResNet-50", core::StoreMode::kFramework},
+                      MatrixCase{"Inception-V4", core::StoreMode::kBaseline},
+                      MatrixCase{"Inception-V4", core::StoreMode::kFramework}));
+
+// --- Lossless roundtrip sweep -----------------------------------------------------
+
+class LosslessSweep : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(LosslessSweep, ExactAcrossSparsityAndSize) {
+  const auto [sparsity, n] = GetParam();
+  baselines::LosslessCodec codec;
+  Tensor t(Shape{n});
+  Rng rng(7200 + n);
+  rng.fill_relu_like(t.span(), sparsity, 1.0f);
+  const auto enc = codec.encode("sweep", t);
+  Tensor back = codec.decode(enc);
+  ASSERT_EQ(back.numel(), n);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(back[i], t[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LosslessSweep,
+                         ::testing::Combine(::testing::Values(0.0, 0.5, 0.95),
+                                            ::testing::Values<std::size_t>(64, 4096,
+                                                                           100000)));
+
+// --- LZ77 fuzz-ish sweep ------------------------------------------------------------
+
+class Lz77Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lz77Sweep, RandomStructuredRoundtrip) {
+  Rng rng(7300 + static_cast<std::uint64_t>(GetParam()));
+  // Random mix of runs, repeats and noise.
+  std::vector<std::uint8_t> data;
+  const std::size_t segments = 20 + rng.uniform_index(30);
+  for (std::size_t s = 0; s < segments; ++s) {
+    const auto kind = rng.uniform_index(3);
+    const std::size_t len = 1 + rng.uniform_index(3000);
+    if (kind == 0) {
+      data.insert(data.end(), len, static_cast<std::uint8_t>(rng.uniform_index(256)));
+    } else if (kind == 1 && !data.empty()) {
+      const std::size_t start = rng.uniform_index(data.size());
+      for (std::size_t i = 0; i < len; ++i)
+        data.push_back(data[start + (i % (data.size() - start))]);
+    } else {
+      for (std::size_t i = 0; i < len; ++i)
+        data.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+    }
+  }
+  const auto enc = sz::lz77_compress(data);
+  EXPECT_EQ(sz::lz77_decompress(enc), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77Sweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ebct

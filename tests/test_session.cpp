@@ -1,0 +1,172 @@
+// End-to-end TrainingSession tests: the baseline and framework modes train,
+// the framework compresses conv activations with adaptive bounds, accuracy
+// tracks the baseline, and evaluation works — the paper's Fig. 10 in
+// miniature, as a test.
+
+#include <gtest/gtest.h>
+
+#include "core/error_injection.hpp"
+#include "core/session.hpp"
+#include "models/model_zoo.hpp"
+
+namespace ebct::core {
+namespace {
+
+data::SyntheticSpec tiny_data() {
+  data::SyntheticSpec s;
+  s.num_classes = 4;
+  s.image_hw = 16;
+  s.train_per_class = 64;
+  s.test_per_class = 16;
+  s.seed = 777;
+  return s;
+}
+
+models::ModelConfig tiny_model() {
+  models::ModelConfig cfg;
+  cfg.input_hw = 16;
+  cfg.num_classes = 4;
+  cfg.width_multiplier = 0.25;
+  cfg.seed = 7;
+  return cfg;
+}
+
+SessionConfig fast_framework() {
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kFramework;
+  cfg.framework.active_factor_w = 10;  // refresh often at test scale
+  cfg.base_lr = 0.05;
+  return cfg;
+}
+
+TEST(TrainingSessionTest, BaselineLossDecreases) {
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 16, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kBaseline;
+  cfg.base_lr = 0.05;
+  TrainingSession session(*net, loader, cfg);
+  session.run(30);
+  ASSERT_EQ(session.history().size(), 30u);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) early += session.history()[i].loss;
+  for (int i = 25; i < 30; ++i) late += session.history()[i].loss;
+  EXPECT_LT(late, early);
+}
+
+TEST(TrainingSessionTest, FrameworkCompressesAndTrains) {
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 16, true, true);
+  TrainingSession session(*net, loader, fast_framework());
+  session.run(30);
+
+  // Compression kicks in and delivers >1x on conv activations.
+  const auto& last = session.history().back();
+  EXPECT_GT(last.mean_compression_ratio, 1.5);
+
+  // Adaptive bounds are installed for every conv layer after the first W.
+  ASSERT_NE(session.scheme(), nullptr);
+  EXPECT_FALSE(session.scheme()->last_bounds().empty());
+  for (const auto& [layer, eb] : session.scheme()->last_bounds()) {
+    EXPECT_GE(eb, session.scheme()->config().min_error_bound) << layer;
+    EXPECT_LE(eb, session.scheme()->config().max_error_bound) << layer;
+  }
+
+  // Loss still decreases under lossy activations.
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) early += session.history()[i].loss;
+  for (int i = 25; i < 30; ++i) late += session.history()[i].loss;
+  EXPECT_LT(late, early);
+}
+
+TEST(TrainingSessionTest, FrameworkAccuracyTracksBaseline) {
+  // The paper's Table 1 claim in miniature: final accuracy with the
+  // framework is close to the baseline's at identical seeds/batches.
+  auto net_base = models::make_resnet18(tiny_model());
+  auto net_fw = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader_a(ds, 16, true, true, 31);
+  data::DataLoader loader_b(ds, 16, true, true, 31);
+
+  SessionConfig base_cfg;
+  base_cfg.mode = StoreMode::kBaseline;
+  base_cfg.base_lr = 0.05;
+  TrainingSession base(*net_base, loader_a, base_cfg);
+  TrainingSession fw(*net_fw, loader_b, fast_framework());
+  base.run(80);
+  fw.run(80);
+
+  data::DataLoader eval_a(ds, 16, false, false);
+  data::DataLoader eval_b(ds, 16, false, false);
+  const double acc_base = base.evaluate(eval_a, 4);
+  const double acc_fw = fw.evaluate(eval_b, 4);
+  EXPECT_GT(acc_base, 0.5);  // learned something on 4 classes
+  EXPECT_NEAR(acc_fw, acc_base, 0.25);
+}
+
+TEST(TrainingSessionTest, CustomInjectionStoreRuns) {
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 8, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kCustom;
+  cfg.base_lr = 0.05;
+  TrainingSession session(*net, loader, cfg);
+  InjectionStore store(1e-3, /*preserve_zeros=*/true, 321);
+  session.set_custom_store(&store);
+  session.run(5);
+  EXPECT_EQ(session.history().size(), 5u);
+  for (const auto& rec : session.history()) EXPECT_TRUE(std::isfinite(rec.loss));
+}
+
+TEST(TrainingSessionTest, HistoryRecordsLrSchedule) {
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 8, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kBaseline;
+  cfg.base_lr = 0.1;
+  cfg.lr_step = 4;
+  cfg.lr_gamma = 0.5;
+  TrainingSession session(*net, loader, cfg);
+  session.run(8);
+  EXPECT_DOUBLE_EQ(session.history()[0].lr, 0.1);
+  EXPECT_DOUBLE_EQ(session.history()[4].lr, 0.05);
+}
+
+TEST(TrainingSessionTest, StoreHeldBytesSmallerUnderCompression) {
+  auto net_a = models::make_resnet18(tiny_model());
+  auto net_b = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader_a(ds, 16, true, true, 5);
+  data::DataLoader loader_b(ds, 16, true, true, 5);
+  SessionConfig base_cfg;
+  base_cfg.mode = StoreMode::kBaseline;
+  TrainingSession base(*net_a, loader_a, base_cfg);
+  TrainingSession fw(*net_b, loader_b, fast_framework());
+  base.run(3);
+  fw.run(3);
+  // Held bytes at the forward/backward turnaround: compressed is smaller.
+  EXPECT_LT(fw.history().back().store_held_bytes,
+            base.history().back().store_held_bytes / 2);
+}
+
+TEST(TrainingSessionTest, CallbackObservesEveryIteration) {
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 8, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kBaseline;
+  TrainingSession session(*net, loader, cfg);
+  std::size_t calls = 0;
+  session.run(7, [&](const IterationRecord& rec) {
+    EXPECT_EQ(rec.iteration, calls);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 7u);
+}
+
+}  // namespace
+}  // namespace ebct::core

@@ -1,0 +1,405 @@
+// Tests for the SZ error-bounded compressor stack: bit I/O, Huffman,
+// and the compressor's core contract — every reconstructed element within
+// the user error bound — across data shapes, bounds and zero modes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sz/bitstream.hpp"
+#include "sz/compressor.hpp"
+#include "sz/huffman.hpp"
+#include "sz/metrics.hpp"
+#include "stats/distribution.hpp"
+#include "tensor/rng.hpp"
+
+namespace ebct::sz {
+namespace {
+
+TEST(BitStream, RoundtripMixedWidths) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0xdeadbeef, 32);
+  w.put(1, 1);
+  w.put(0x123456789abcdef0ULL, 64);
+  const auto bytes = w.finish();
+  BitReader r({bytes.data(), bytes.size()});
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(32), 0xdeadbeefu);
+  EXPECT_EQ(r.get(1), 1u);
+  EXPECT_EQ(r.get(64), 0x123456789abcdef0ULL);
+}
+
+TEST(BitStream, VarintRoundtrip) {
+  BitWriter w;
+  const std::vector<std::uint64_t> vals{0, 1, 127, 128, 300, 1ULL << 20, 1ULL << 40,
+                                        ~0ULL};
+  for (auto v : vals) w.put_varint(v);
+  const auto bytes = w.finish();
+  BitReader r({bytes.data(), bytes.size()});
+  for (auto v : vals) EXPECT_EQ(r.get_varint(), v);
+}
+
+TEST(BitStream, ManyRandomBitsRoundtrip) {
+  tensor::Rng rng(31);
+  std::vector<std::pair<std::uint64_t, unsigned>> items;
+  BitWriter w;
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.uniform_index(63));
+    const std::uint64_t v = rng.next_u64() & ((n >= 64) ? ~0ULL : ((1ULL << n) - 1));
+    items.emplace_back(v, n);
+    w.put(v, n);
+  }
+  const auto bytes = w.finish();
+  BitReader r({bytes.data(), bytes.size()});
+  for (auto [v, n] : items) EXPECT_EQ(r.get(n), v);
+}
+
+TEST(Huffman, RoundtripRandomSymbols) {
+  tensor::Rng rng(32);
+  std::vector<std::uint32_t> symbols(20000);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.uniform_index(64));
+  std::vector<std::uint64_t> freqs(64, 0);
+  for (auto s : symbols) ++freqs[s];
+  HuffmanCodec codec;
+  codec.build(freqs);
+  const auto enc = codec.encode(symbols);
+  const auto dec = codec.decode({enc.data(), enc.size()}, symbols.size());
+  EXPECT_EQ(dec, symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 95% of mass on one symbol: Huffman must beat 6 bits/symbol hugely.
+  tensor::Rng rng(33);
+  std::vector<std::uint32_t> symbols(50000);
+  for (auto& s : symbols)
+    s = rng.uniform() < 0.95 ? 7u : static_cast<std::uint32_t>(rng.uniform_index(64));
+  std::vector<std::uint64_t> freqs(64, 0);
+  for (auto s : symbols) ++freqs[s];
+  HuffmanCodec codec;
+  codec.build(freqs);
+  const auto enc = codec.encode(symbols);
+  EXPECT_LT(enc.size() * 8, symbols.size() * 2);  // < 2 bits/symbol
+  const auto dec = codec.decode({enc.data(), enc.size()}, symbols.size());
+  EXPECT_EQ(dec, symbols);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> freqs(16, 0);
+  freqs[3] = 1000;
+  HuffmanCodec codec;
+  codec.build(freqs);
+  std::vector<std::uint32_t> symbols(1000, 3);
+  const auto enc = codec.encode(symbols);
+  const auto dec = codec.decode({enc.data(), enc.size()}, 1000);
+  EXPECT_EQ(dec, symbols);
+}
+
+TEST(Huffman, TableSerializationRoundtrip) {
+  tensor::Rng rng(34);
+  std::vector<std::uint64_t> freqs(300, 0);
+  for (auto& f : freqs) f = rng.uniform_index(1000);
+  HuffmanCodec a;
+  a.build(freqs);
+  const auto table = a.serialize_table();
+  HuffmanCodec b;
+  b.deserialize_table({table.data(), table.size()});
+  for (std::uint32_t s = 0; s < 300; ++s) EXPECT_EQ(a.code_length(s), b.code_length(s));
+
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < 300; ++s)
+    if (freqs[s]) symbols.push_back(s);
+  const auto enc = a.encode(symbols);
+  const auto dec = b.decode({enc.data(), enc.size()}, symbols.size());
+  EXPECT_EQ(dec, symbols);
+}
+
+TEST(Huffman, EncodingUnknownSymbolThrows) {
+  std::vector<std::uint64_t> freqs(8, 0);
+  freqs[0] = 5;
+  freqs[1] = 5;
+  HuffmanCodec codec;
+  codec.build(freqs);
+  std::vector<std::uint32_t> bad{4};
+  EXPECT_THROW(codec.encode(bad), std::logic_error);
+}
+
+TEST(Huffman, EntropyBitsSane) {
+  std::vector<std::uint64_t> freqs{500, 500};
+  EXPECT_NEAR(HuffmanCodec::entropy_bits(freqs), 1000.0, 1e-9);  // 1 bit/symbol
+}
+
+// ---------------------------------------------------------------------------
+// Compressor: the error-bound contract, parameterised over bounds and data.
+
+struct BoundCase {
+  double eb;
+  double sparsity;
+  std::size_t n;
+};
+
+class ErrorBoundTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(ErrorBoundTest, EveryElementWithinBound) {
+  const auto [eb, sparsity, n] = GetParam();
+  tensor::Rng rng(35);
+  std::vector<float> data(n);
+  rng.fill_relu_like({data.data(), n}, sparsity, 1.0f);
+  Config cfg;
+  cfg.error_bound = eb;
+  cfg.zero_mode = ZeroMode::kNone;
+  Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), n});
+  const auto recon = comp.decompress(buf);
+  EXPECT_TRUE(within_bound({data.data(), n}, {recon.data(), recon.size()}, eb))
+      << "max err " << max_abs_error({data.data(), n}, {recon.data(), recon.size()});
+}
+
+TEST_P(ErrorBoundTest, RezeroModeWithinTwiceBound) {
+  const auto [eb, sparsity, n] = GetParam();
+  tensor::Rng rng(36);
+  std::vector<float> data(n);
+  rng.fill_relu_like({data.data(), n}, sparsity, 1.0f);
+  Config cfg;
+  cfg.error_bound = eb;
+  cfg.zero_mode = ZeroMode::kRezero;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), n}));
+  // Re-zeroing a value with eb < |x| < 2eb whose reconstruction fell below
+  // eb produces up to 2eb of error; everything else stays within eb.
+  EXPECT_TRUE(within_bound({data.data(), n}, {recon.data(), recon.size()}, 2.0 * eb));
+  std::size_t beyond_eb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(recon[i] - data[i]) > eb * (1 + 1e-6)) {
+      ++beyond_eb;
+      EXPECT_EQ(recon[i], 0.0f);  // only re-zeroed elements may exceed eb
+    }
+  }
+  EXPECT_LT(beyond_eb, n / 100 + 1);  // rare: |x| must land in (eb, 2eb)
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ErrorBoundTest,
+    ::testing::Values(BoundCase{1e-2, 0.0, 10000}, BoundCase{1e-3, 0.5, 10000},
+                      BoundCase{1e-4, 0.7, 50000}, BoundCase{1e-5, 0.9, 20000},
+                      BoundCase{1e-1, 0.3, 1000}, BoundCase{1e-3, 0.0, 3}));
+
+TEST(Compressor, RezeroPreservesExactZeros) {
+  tensor::Rng rng(37);
+  std::vector<float> data(20000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.6, 1.0f);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.zero_mode = ZeroMode::kRezero;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0f) EXPECT_EQ(recon[i], 0.0f) << i;
+  }
+}
+
+TEST(Compressor, PlainModePerturbsZerosAfterNonzeros) {
+  // Stock SZ behaviour the paper describes: zeros following non-zero data
+  // reconstruct as small non-zero values within the bound.
+  std::vector<float> data(1000, 0.0f);
+  data[0] = 0.7213f;  // prediction chain now starts off-grid
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.zero_mode = ZeroMode::kNone;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
+  std::size_t perturbed = 0;
+  for (std::size_t i = 1; i < recon.size(); ++i) {
+    EXPECT_LE(std::fabs(recon[i]), 1e-3 * (1 + 1e-6));
+    if (recon[i] != 0.0f) ++perturbed;
+  }
+  EXPECT_GT(perturbed, 0u);
+}
+
+TEST(Compressor, ExactRleRestoresZerosVerbatim) {
+  tensor::Rng rng(38);
+  std::vector<float> data(30000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.8, 1.0f);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.zero_mode = ZeroMode::kExactRle;
+  Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), data.size()});
+  const auto recon = comp.decompress(buf);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0f)
+      EXPECT_EQ(recon[i], 0.0f);
+    else
+      EXPECT_NEAR(recon[i], data[i], 1e-3 * (1 + 1e-6));
+  }
+}
+
+TEST(Compressor, SparserDataCompressesBetterWithRle) {
+  tensor::Rng rng(39);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.zero_mode = ZeroMode::kExactRle;
+  Compressor comp(cfg);
+  double prev_ratio = 0.0;
+  for (double sparsity : {0.0, 0.5, 0.9}) {
+    std::vector<float> data(50000);
+    rng.fill_relu_like({data.data(), data.size()}, sparsity, 1.0f);
+    const double ratio = comp.compress({data.data(), data.size()}).compression_ratio();
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Compressor, LargerBoundHigherRatio) {
+  tensor::Rng rng(40);
+  std::vector<float> data(100000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.5, 1.0f);
+  double prev = 0.0;
+  for (double eb : {1e-5, 1e-4, 1e-3, 1e-2}) {
+    Config cfg;
+    cfg.error_bound = eb;
+    Compressor comp(cfg);
+    const double ratio = comp.compress({data.data(), data.size()}).compression_ratio();
+    EXPECT_GT(ratio, prev) << "eb=" << eb;
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 4.0);  // 1e-2 on unit-scale data compresses well
+}
+
+TEST(Compressor, SmoothDataCompressesBetterThanNoise) {
+  std::vector<float> smooth(65536), noise(65536);
+  tensor::Rng rng(41);
+  for (std::size_t i = 0; i < smooth.size(); ++i)
+    smooth[i] = std::sin(static_cast<double>(i) * 0.01);
+  rng.fill_uniform({noise.data(), noise.size()}, -1, 1);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  Compressor comp(cfg);
+  const double rs = comp.compress({smooth.data(), smooth.size()}).compression_ratio();
+  const double rn = comp.compress({noise.data(), noise.size()}).compression_ratio();
+  EXPECT_GT(rs, rn);
+}
+
+TEST(Compressor, RelativeBoundResolvesAgainstRange) {
+  tensor::Rng rng(42);
+  std::vector<float> data(10000);
+  rng.fill_uniform({data.data(), data.size()}, -50.0f, 50.0f);
+  Config cfg;
+  cfg.error_bound = 1e-4;
+  cfg.bound_mode = BoundMode::kRelative;
+  Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), data.size()});
+  EXPECT_NEAR(buf.abs_error_bound, 1e-4 * 100.0, 2e-3);
+  const auto recon = comp.decompress(buf);
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {recon.data(), recon.size()},
+                           buf.abs_error_bound));
+}
+
+TEST(Compressor, Lorenzo2DWithinBound) {
+  tensor::Rng rng(43);
+  const std::size_t w = 64, h = 64;
+  std::vector<float> data(w * h);
+  for (std::size_t y = 0; y < h; ++y)
+    for (std::size_t x = 0; x < w; ++x)
+      data[y * w + x] = std::sin(0.1 * x) * std::cos(0.07 * y) +
+                        static_cast<float>(rng.normal(0, 0.01));
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.predictor = Predictor::kLorenzo2D;
+  cfg.plane_width = w;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {recon.data(), recon.size()}, 1e-3));
+}
+
+TEST(Compressor, OutliersBeyondRadiusHandled) {
+  // Huge jumps force the escape path; contract must still hold.
+  std::vector<float> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = (i % 2) ? 1.0e6f : -1.0e6f;
+  Config cfg;
+  cfg.error_bound = 1e-6;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
+  for (std::size_t i = 0; i < data.size(); ++i) EXPECT_FLOAT_EQ(recon[i], data[i]);
+}
+
+TEST(Compressor, EmptyInput) {
+  Compressor comp;
+  const auto buf = comp.compress({});
+  EXPECT_EQ(buf.num_elements, 0u);
+  const auto recon = comp.decompress(buf);
+  EXPECT_TRUE(recon.empty());
+}
+
+TEST(Compressor, MultiBlockMatchesSingleBlock) {
+  tensor::Rng rng(44);
+  std::vector<float> data(200000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.5, 1.0f);
+  Config small;
+  small.error_bound = 1e-3;
+  small.block_size = 1024;
+  small.zero_mode = ZeroMode::kNone;
+  Config big;
+  big.error_bound = 1e-3;
+  big.block_size = 1 << 20;
+  big.zero_mode = ZeroMode::kNone;
+  const auto ra = Compressor(small).decompress(Compressor(small).compress({data.data(), data.size()}));
+  const auto rb = Compressor(big).decompress(Compressor(big).compress({data.data(), data.size()}));
+  // Both satisfy the bound (block boundaries change predictions, not the contract).
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {ra.data(), ra.size()}, 1e-3));
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {rb.data(), rb.size()}, 1e-3));
+}
+
+TEST(Compressor, InvalidConfigThrows) {
+  Config cfg;
+  cfg.error_bound = 0.0;
+  EXPECT_THROW(Compressor{cfg}, std::invalid_argument);
+  Config cfg2;
+  cfg2.predictor = Predictor::kLorenzo2D;  // missing plane_width
+  EXPECT_THROW(Compressor{cfg2}, std::invalid_argument);
+  Config cfg3;
+  cfg3.block_size = 0;
+  EXPECT_THROW(Compressor{cfg3}, std::invalid_argument);
+}
+
+TEST(Compressor, DecompressSizeMismatchThrows) {
+  std::vector<float> data(100, 1.0f);
+  Compressor comp;
+  const auto buf = comp.compress({data.data(), data.size()});
+  std::vector<float> out(99);
+  EXPECT_THROW(comp.decompress(buf, {out.data(), out.size()}), std::invalid_argument);
+}
+
+// The paper's Fig. 3 claim in miniature: the reconstruction error of
+// SZ-compressed activation-like data is uniformly distributed in [-eb, eb].
+TEST(Compressor, ErrorDistributionIsUniform) {
+  tensor::Rng rng(45);
+  std::vector<float> data(200000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.0, 1.0f);  // dense
+  const double eb = 1e-4;
+  Config cfg;
+  cfg.error_bound = eb;
+  cfg.zero_mode = ZeroMode::kNone;
+  Compressor comp(cfg);
+  const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
+  const auto errors = pointwise_errors({data.data(), data.size()},
+                                       {recon.data(), recon.size()});
+  const auto d = stats::diagnose({errors.data(), errors.size()});
+  EXPECT_TRUE(stats::looks_uniform(d, eb, 0.2))
+      << "kurtosis=" << d.excess_kurtosis << " sd=" << d.stddev;
+}
+
+TEST(Metrics, PsnrPerfectReconstruction) {
+  std::vector<float> a{1, 2, 3}, b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(psnr({a.data(), 3}, {b.data(), 3}), 999.0);
+}
+
+TEST(Metrics, WithinBoundDetectsViolation) {
+  std::vector<float> a{0.0f}, b{0.2f};
+  EXPECT_FALSE(within_bound({a.data(), 1}, {b.data(), 1}, 0.1));
+  EXPECT_TRUE(within_bound({a.data(), 1}, {b.data(), 1}, 0.3));
+}
+
+}  // namespace
+}  // namespace ebct::sz
