@@ -6,6 +6,7 @@
 /// forward pass), a realistic-loss backward driver, and small timing
 /// helpers. Every bench prints deterministic rows given fixed seeds.
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <map>

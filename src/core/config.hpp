@@ -33,6 +33,22 @@ struct FrameworkConfig {
   /// Zero handling in the compressor (§4.4; the paper uses the re-zero
   /// decompression filter).
   sz::ZeroMode zero_mode = sz::ZeroMode::kRezero;
+
+  /// Worker threads for the SZ block-parallel compress/decompress hot path:
+  /// 0 = all hardware threads, 1 = the serial reference path. Purely a
+  /// throughput knob — the compressed bytes are identical at any setting.
+  std::uint32_t compressor_threads = 0;
+
+  /// Pipeline compression off the critical path: stash() enqueues the raw
+  /// activation and returns, a background worker compresses layer i-1 while
+  /// layer i computes its forward pass (the paper's overlap of encode with
+  /// compute, ported to the CPU substrate).
+  bool async_compression = false;
+
+  /// Bounded pending queue for the async path; 2 = double buffering. The
+  /// forward pass blocks once this many raw activations are waiting, so
+  /// memory stays budgeted even when compute outruns the compressor.
+  std::size_t async_queue_depth = 2;
 };
 
 }  // namespace ebct::core

@@ -24,9 +24,15 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
       sz::Config sz_cfg;
       sz_cfg.error_bound = cfg_.framework.bootstrap_error_bound;
       sz_cfg.zero_mode = cfg_.framework.zero_mode;
+      sz_cfg.num_threads = cfg_.framework.compressor_threads;
       codec_ = std::make_shared<SzActivationCodec>(sz_cfg);
-      codec_store_ = std::make_unique<nn::CodecStore>(codec_);
-      net_.set_store(codec_store_.get());
+      if (cfg_.framework.async_compression) {
+        framework_store_ = std::make_unique<nn::AsyncCodecStore>(
+            codec_, cfg_.framework.async_queue_depth);
+      } else {
+        framework_store_ = std::make_unique<nn::CodecStore>(codec_);
+      }
+      net_.set_store(framework_store_.get());
       scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
       break;
     }

@@ -76,7 +76,7 @@ class TrainingSession {
   nn::SoftmaxCrossEntropy loss_;
 
   std::shared_ptr<SzActivationCodec> codec_;
-  std::unique_ptr<nn::CodecStore> codec_store_;
+  std::unique_ptr<nn::ActivationStore> framework_store_;  ///< CodecStore or AsyncCodecStore
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;
 

@@ -278,13 +278,13 @@ std::unique_ptr<Network> make_inception_v4(const ModelConfig& cfg) {
   const std::size_t c_blocks = full ? 3 : 1;
 
   for (std::size_t i = 0; i < a_blocks; ++i)
-    add(inception_a("a" + std::to_string(i + 1), shape.c(), m, rng));
+    add(inception_a(std::string("a") + std::to_string(i + 1), shape.c(), m, rng));
   add(reduction_a("reduce_a", shape.c(), m, rng));
   for (std::size_t i = 0; i < b_blocks; ++i)
-    add(inception_b("b" + std::to_string(i + 1), shape.c(), m, rng));
+    add(inception_b(std::string("b") + std::to_string(i + 1), shape.c(), m, rng));
   add(reduction_b("reduce_b", shape.c(), m, rng));
   for (std::size_t i = 0; i < c_blocks; ++i)
-    add(inception_c("c" + std::to_string(i + 1), shape.c(), m, rng));
+    add(inception_c(std::string("c") + std::to_string(i + 1), shape.c(), m, rng));
 
   add(std::make_unique<GlobalAvgPool>("gap"));
   add(std::make_unique<Flatten>("flatten"));

@@ -8,10 +8,15 @@
 /// encodings — all behind the same stash/retrieve contract, so every memory
 /// strategy runs through identical training code.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -109,6 +114,67 @@ class CodecStore : public ActivationStore {
   StashHandle next_ = 1;
   std::size_t held_bytes_ = 0;
   std::map<std::string, StoreStats> stats_;
+};
+
+/// Double-buffered asynchronous codec store: stash() hands the raw tensor to
+/// a background worker and returns immediately, so the forward pass of layer
+/// i overlaps the compression of layer i-1 (the paper's GPU pipeline, ported
+/// to the CPU substrate). A bounded pending queue (default depth 2 = classic
+/// double buffering) applies backpressure: when the compute thread outruns
+/// the compressor it blocks on stash() instead of accumulating raw tensors,
+/// which would defeat the memory budget. retrieve() waits until the worker
+/// has encoded the handle, then decodes — the lossy roundtrip is exactly the
+/// synchronous CodecStore's, just off the critical path.
+class AsyncCodecStore : public ActivationStore {
+ public:
+  explicit AsyncCodecStore(std::shared_ptr<ActivationCodec> codec,
+                           std::size_t queue_depth = 2);
+  ~AsyncCodecStore() override;
+
+  AsyncCodecStore(const AsyncCodecStore&) = delete;
+  AsyncCodecStore& operator=(const AsyncCodecStore&) = delete;
+
+  StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
+  tensor::Tensor retrieve(StashHandle handle) override;
+
+  /// Encoded bytes held plus raw bytes still waiting in the pending queue
+  /// (those tensors are alive, so honest accounting includes them).
+  std::size_t held_bytes() const override;
+  std::map<std::string, StoreStats> stats() const override;
+  void reset_stats() override;
+
+  /// Block until every pending stash has been encoded.
+  void drain();
+
+  ActivationCodec& codec() { return *codec_; }
+
+ private:
+  struct Pending {
+    StashHandle handle;
+    std::string layer;
+    tensor::Tensor raw;
+  };
+
+  void worker_loop();
+
+  std::shared_ptr<ActivationCodec> codec_;
+  const std::size_t queue_depth_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_space_;  ///< signalled when the queue shrinks
+  std::condition_variable work_ready_;   ///< signalled when work arrives/stops
+  std::condition_variable encoded_cv_;   ///< signalled when an encode finishes
+  std::deque<Pending> queue_;
+  bool in_flight_ = false;               ///< worker is encoding right now
+  bool stop_ = false;
+  std::unordered_map<StashHandle, EncodedActivation> encoded_;
+  std::unordered_map<StashHandle, std::exception_ptr> failed_;
+  StashHandle next_ = 1;
+  std::size_t pending_raw_bytes_ = 0;
+  std::size_t encoded_bytes_ = 0;
+  std::map<std::string, StoreStats> stats_;
+
+  std::thread worker_;  ///< started last, joined first
 };
 
 }  // namespace ebct::nn

@@ -5,20 +5,19 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "tensor/bytes.hpp"
+
 namespace ebct::nn {
 
 namespace {
 constexpr char kMagic[4] = {'E', 'B', 'C', 'K'};
 constexpr std::uint32_t kVersion = 1;
 
-void put_bytes(std::vector<std::uint8_t>& out, const void* src, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(src);
-  out.insert(out.end(), p, p + n);
-}
+using tensor::append_bytes;
 
 template <typename T>
 void put_pod(std::vector<std::uint8_t>& out, T v) {
-  put_bytes(out, &v, sizeof(T));
+  append_bytes(out, &v, sizeof(T));
 }
 
 template <typename T>
@@ -33,16 +32,16 @@ T read_pod(std::span<const std::uint8_t>& in) {
 
 std::vector<std::uint8_t> save_checkpoint(Network& net) {
   std::vector<std::uint8_t> out;
-  put_bytes(out, kMagic, 4);
+  append_bytes(out, kMagic, 4);
   put_pod<std::uint32_t>(out, kVersion);
   const auto params = net.params();
   put_pod<std::uint64_t>(out, params.size());
   for (Param* p : params) {
     put_pod<std::uint64_t>(out, p->name.size());
-    put_bytes(out, p->name.data(), p->name.size());
+    append_bytes(out, p->name.data(), p->name.size());
     put_pod<std::uint64_t>(out, p->value.numel());
-    put_bytes(out, p->value.data(), p->value.bytes());
-    put_bytes(out, p->momentum.data(), p->momentum.bytes());
+    append_bytes(out, p->value.data(), p->value.bytes());
+    append_bytes(out, p->momentum.data(), p->momentum.bytes());
   }
   return out;
 }

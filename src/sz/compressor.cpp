@@ -7,6 +7,7 @@
 
 #include "sz/bitstream.hpp"
 #include "sz/huffman.hpp"
+#include "tensor/bytes.hpp"
 #include "tensor/parallel.hpp"
 
 namespace ebct::sz {
@@ -108,10 +109,7 @@ void quantize_2d(std::span<const float> data, std::size_t w, double eb,
   }
 }
 
-void append_bytes(std::vector<std::uint8_t>& dst, const void* src, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(src);
-  dst.insert(dst.end(), p, p + n);
-}
+using tensor::append_bytes;
 
 template <typename T>
 T read_pod(const std::uint8_t*& p) {
@@ -175,13 +173,16 @@ CompressedBuffer Compressor::compress(std::span<const float> data) const {
   const bool two_d = cfg_.predictor == Predictor::kLorenzo2D;
   const std::size_t num_blocks = two_d ? (n ? 1 : 0) : (n + bs - 1) / bs;
 
+  // Stage 1 — block-parallel Lorenzo + quantization. Every block predicts
+  // from a fresh context (prev_recon = 0), so blocks are fully independent;
+  // each worker writes only its own BlockResult.
   std::vector<BlockResult> blocks(num_blocks);
   if (two_d && n > 0) {
     std::vector<float> recon;
     quantize_2d(payload, cfg_.plane_width, eb, cfg_.radius, blocks[0].symbols,
                 blocks[0].outliers, recon);
   } else {
-    tensor::parallel_for(num_blocks, [&](std::size_t b) {
+    tensor::parallel_for_tasks(num_blocks, cfg_.num_threads, [&](std::size_t b) {
       const std::size_t begin = b * bs;
       const std::size_t end = std::min(n, begin + bs);
       quantize_block_1d(payload.subspan(begin, end - begin), eb, cfg_.radius,
@@ -189,17 +190,34 @@ CompressedBuffer Compressor::compress(std::span<const float> data) const {
     });
   }
 
-  // Global Huffman table over all blocks' symbols.
+  // Stage 2 — global Huffman table. Histograms accumulate into per-chunk
+  // buffers and merge in chunk order, so the frequency vector (and hence the
+  // table and the output bytes) is independent of the thread count.
   const std::size_t alphabet = 2ull * cfg_.radius;
+  const std::size_t hw = static_cast<std::size_t>(tensor::hardware_threads());
+  const std::size_t workers =
+      cfg_.num_threads == 0 ? hw : std::min<std::size_t>(cfg_.num_threads, hw);
+  const std::size_t nchunks = std::min(num_blocks, std::max<std::size_t>(workers, 1));
+  std::vector<std::vector<std::uint64_t>> chunk_freqs(nchunks);
+  tensor::parallel_for_tasks(nchunks, cfg_.num_threads, [&](std::size_t c) {
+    auto& f = chunk_freqs[c];
+    f.assign(alphabet, 0);
+    const std::size_t lo = c * num_blocks / nchunks;
+    const std::size_t hi = (c + 1) * num_blocks / nchunks;
+    for (std::size_t b = lo; b < hi; ++b) {
+      for (std::uint32_t s : blocks[b].symbols) ++f[s];
+    }
+  });
   std::vector<std::uint64_t> freqs(alphabet, 0);
-  for (const auto& blk : blocks) {
-    for (std::uint32_t s : blk.symbols) ++freqs[s];
+  for (const auto& f : chunk_freqs) {
+    for (std::size_t s = 0; s < alphabet; ++s) freqs[s] += f[s];
   }
   HuffmanCodec codec;
   codec.build(freqs);
   const std::vector<std::uint8_t> table = codec.serialize_table();
 
-  tensor::parallel_for(num_blocks, [&](std::size_t b) {
+  // Stage 3 — block-parallel entropy coding against the shared table.
+  tensor::parallel_for_tasks(num_blocks, cfg_.num_threads, [&](std::size_t b) {
     blocks[b].encoded = codec.encode(blocks[b].symbols);
   });
 
@@ -221,6 +239,9 @@ CompressedBuffer Compressor::compress(std::span<const float> data) const {
   append_bytes(out.bytes, &h, sizeof(h));
   append_bytes(out.bytes, table.data(), table.size());
   append_bytes(out.bytes, rle_bytes.data(), rle_bytes.size());
+  // Block-offset index: one (symbols, encoded bytes, outliers) triplet per
+  // block. Prefix sums over it give each block's payload offsets, which is
+  // what lets decompression fan the blocks back out across threads.
   for (const auto& blk : blocks) {
     const std::uint64_t counts[3] = {blk.symbols.size(), blk.encoded.size(),
                                      blk.outliers.size()};
@@ -233,9 +254,37 @@ CompressedBuffer Compressor::compress(std::span<const float> data) const {
 }
 
 void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) const {
+  if (buf.bytes.size() < sizeof(Header))
+    throw std::runtime_error("Compressor::decompress: truncated buffer");
   const std::uint8_t* p = buf.bytes.data();
   const Header h = read_pod<Header>(p);
   if (h.magic != kMagic) throw std::runtime_error("Compressor::decompress: bad magic");
+  // Each untrusted length is checked against the bytes that remain, never
+  // summed up front: summing unchecked uint64 fields could wrap and slip a
+  // crafted header past the guard.
+  std::size_t remaining = buf.bytes.size() - sizeof(Header);
+  if (h.table_bytes > remaining)
+    throw std::runtime_error("Compressor::decompress: corrupt header (table)");
+  remaining -= static_cast<std::size_t>(h.table_bytes);
+  if (h.rle_bytes > remaining)
+    throw std::runtime_error("Compressor::decompress: corrupt header (rle)");
+  remaining -= static_cast<std::size_t>(h.rle_bytes);
+  constexpr std::size_t kIndexEntry = 3 * sizeof(std::uint64_t);
+  if (h.num_blocks > remaining / kIndexEntry)
+    throw std::runtime_error("Compressor::decompress: corrupt header (blocks)");
+  remaining -= static_cast<std::size_t>(h.num_blocks) * kIndexEntry;
+  if (h.predictor > static_cast<std::uint8_t>(Predictor::kLorenzo2D) ||
+      h.zero_mode > static_cast<std::uint8_t>(ZeroMode::kExactRle))
+    throw std::runtime_error("Compressor::decompress: corrupt header (mode)");
+  // num_quantized sizes the payload buffer and, for the non-RLE modes, is
+  // copied verbatim into `out` — forging it must not move the write bounds.
+  if (static_cast<ZeroMode>(h.zero_mode) == ZeroMode::kExactRle
+          ? h.num_quantized > h.num_elements
+          : h.num_quantized != h.num_elements)
+    throw std::runtime_error("Compressor::decompress: corrupt header (count)");
+  if (static_cast<Predictor>(h.predictor) == Predictor::kLorenzo2D && cfg_.plane_width == 0)
+    throw std::runtime_error(
+        "Compressor::decompress: 2-D stream needs a compressor with plane_width set");
   if (out.size() != h.num_elements)
     throw std::invalid_argument("Compressor::decompress: output size mismatch");
 
@@ -249,19 +298,30 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
     std::uint64_t symbol_count, encoded_bytes, outlier_count;
     std::size_t encoded_off, outlier_off, out_off;
   };
+  // Walk the block index with the same no-sum discipline: every offset is
+  // validated against what is left before it is committed, so a corrupt
+  // index throws instead of steering reads/writes out of bounds.
   std::vector<BlockMeta> metas(h.num_blocks);
   std::size_t enc_off = 0, outl_off = 0, sym_off = 0;
   for (auto& m : metas) {
     m.symbol_count = read_pod<std::uint64_t>(p);
     m.encoded_bytes = read_pod<std::uint64_t>(p);
     m.outlier_count = read_pod<std::uint64_t>(p);
+    // Invariant: sym_off <= num_quantized and enc_off + outl_off*4 <=
+    // remaining, so these subtractions cannot wrap.
+    const std::size_t avail = remaining - enc_off - outl_off * sizeof(float);
+    if (m.symbol_count > h.num_quantized - sym_off || m.encoded_bytes > avail ||
+        m.outlier_count > (avail - m.encoded_bytes) / sizeof(float))
+      throw std::runtime_error("Compressor::decompress: corrupt block index");
     m.encoded_off = enc_off;
     m.outlier_off = outl_off;
     m.out_off = sym_off;
-    enc_off += m.encoded_bytes;
-    outl_off += m.outlier_count;
-    sym_off += m.symbol_count;
+    enc_off += static_cast<std::size_t>(m.encoded_bytes);
+    outl_off += static_cast<std::size_t>(m.outlier_count);
+    sym_off += static_cast<std::size_t>(m.symbol_count);
   }
+  if (sym_off != h.num_quantized)
+    throw std::runtime_error("Compressor::decompress: corrupt block index");
   const std::uint8_t* enc_base = p;
   const std::uint8_t* outlier_base = p + enc_off;
 
@@ -270,7 +330,7 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
   const double eb = h.abs_eb;
   const std::uint32_t radius = h.radius;
 
-  tensor::parallel_for(metas.size(), [&](std::size_t b) {
+  tensor::parallel_for_tasks(metas.size(), cfg_.num_threads, [&](std::size_t b) {
     const BlockMeta& m = metas[b];
     const auto symbols = codec.decode(
         {enc_base + m.encoded_off, static_cast<std::size_t>(m.encoded_bytes)},
@@ -289,7 +349,9 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
         const double tl = (c > 0 && r > 0) ? dst[i - w - 1] : 0.0;
         const double pred = left + top - tl;
         if (symbols[i] == 0) {
-          dst[i] = outliers[oi++];
+          // A corrupt symbol stream can claim more escapes than the block
+          // index promised; clamp rather than read out of bounds.
+          dst[i] = oi < outliers.size() ? outliers[oi++] : 0.0f;
         } else {
           const auto code = static_cast<std::int64_t>(symbols[i]) -
                             static_cast<std::int64_t>(radius);
@@ -300,7 +362,7 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
       float prev = 0.0f;
       for (std::size_t i = 0; i < symbols.size(); ++i) {
         if (symbols[i] == 0) {
-          prev = outliers[oi++];
+          prev = oi < outliers.size() ? outliers[oi++] : 0.0f;
         } else {
           const auto code = static_cast<std::int64_t>(symbols[i]) -
                             static_cast<std::int64_t>(radius);
@@ -321,8 +383,14 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
       for (std::uint64_t k = 0; k < zrun && oi < out.size(); ++k) out[oi++] = 0.0f;
       if (oi >= out.size()) break;
       const std::uint64_t nzrun = r.get_varint();
-      for (std::uint64_t k = 0; k < nzrun && oi < out.size(); ++k) out[oi++] = payload[pi++];
+      // A valid stream never emits a (0, 0) pair while elements remain; an
+      // exhausted (corrupt) reader yields exactly that — stop instead of
+      // spinning.
+      if (zrun == 0 && nzrun == 0) break;
+      for (std::uint64_t k = 0; k < nzrun && oi < out.size() && pi < payload.size(); ++k)
+        out[oi++] = payload[pi++];
     }
+    while (oi < out.size()) out[oi++] = 0.0f;  // corrupt-stream remainder
   } else {
     std::copy(payload.begin(), payload.end(), out.begin());
     if (zero_mode == ZeroMode::kRezero) {

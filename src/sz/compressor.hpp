@@ -50,6 +50,13 @@ struct Config {
   std::uint32_t radius = 32768;      ///< quantization codes in (-radius, radius)
   std::uint32_t block_size = 65536;  ///< independent prediction blocks (parallelism)
   std::uint32_t plane_width = 0;     ///< required for kLorenzo2D
+
+  /// Worker threads for the block-parallel compress/decompress paths:
+  /// 0 = all hardware threads, 1 = serial, N = at most N threads. The
+  /// compressed bytes are identical for every setting — blocks are laid out
+  /// in index order and the Huffman table is built from deterministically
+  /// merged per-chunk histograms — so this is purely a throughput knob.
+  std::uint32_t num_threads = 0;
 };
 
 /// Opaque compressed representation. `bytes` is self-describing; the

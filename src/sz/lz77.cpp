@@ -5,6 +5,7 @@
 
 #include "sz/bitstream.hpp"
 #include "sz/huffman.hpp"
+#include "tensor/bytes.hpp"
 
 namespace ebct::sz {
 
@@ -110,10 +111,7 @@ std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input) {
   const auto side_bytes = side.finish();
 
   std::vector<std::uint8_t> out;
-  auto put_u64 = [&out](std::uint64_t v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    out.insert(out.end(), p, p + 8);
-  };
+  auto put_u64 = [&out](std::uint64_t v) { tensor::append_bytes(out, &v, 8); };
   put_u64(input.size());
   put_u64(tokens.size());
   put_u64(table.size());

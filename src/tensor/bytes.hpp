@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file bytes.hpp
+/// Append raw bytes to a byte vector. Deliberately the resize+memcpy form
+/// rather than vector::insert: GCC 12's -Wstringop-overflow/-Wrestrict
+/// false-positives on the insert form once it inlines into serializers.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ebct::tensor {
+
+inline void append_bytes(std::vector<std::uint8_t>& dst, const void* src, std::size_t n) {
+  if (n == 0) return;
+  const std::size_t old = dst.size();
+  dst.resize(old + n);
+  std::memcpy(dst.data() + old, src, n);
+}
+
+}  // namespace ebct::tensor

@@ -44,6 +44,31 @@ void parallel_for(std::size_t n, Fn&& fn) {
 #endif
 }
 
+/// Run `fn(i)` for i in [0, n) with NO grain threshold — for coarse tasks
+/// (per-block codec work) where every iteration is already substantial and
+/// the caller wants parallelism even at small trip counts. `num_threads`
+/// caps the worker count: 0 = all hardware threads, 1 = force serial. Work
+/// is distributed dynamically since block cost can be skewed (outlier-heavy
+/// blocks encode slower). The iteration order a thread observes is
+/// unspecified, so `fn` must write only to per-index state.
+template <typename Fn>
+void parallel_for_tasks(std::size_t n, unsigned num_threads, Fn&& fn) {
+  if (n == 0) return;
+#ifdef _OPENMP
+  const int want = num_threads == 0 ? omp_get_max_threads()
+                                    : static_cast<int>(num_threads);
+  if (want > 1 && n > 1) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(want)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      fn(static_cast<std::size_t>(i));
+    }
+    return;
+  }
+#endif
+  (void)num_threads;
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
 /// Run `fn(begin, end, chunk_index)` over disjoint chunks of [0, n) — one
 /// chunk per thread. The chunk index is deterministic (derived from the
 /// range, not from scheduling order), so per-chunk accumulators can be

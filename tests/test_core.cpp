@@ -154,6 +154,79 @@ TEST(SzCodecTest, PerLayerBoundsIndependent) {
   EXPECT_LT(loose.bytes.size(), tight.bytes.size());
 }
 
+// --- AsyncCodecStore: the double-buffered pipeline must be observationally
+// --- equivalent to the synchronous CodecStore, just off the critical path.
+
+TEST(AsyncStoreTest, RoundtripMatchesSynchronousStore) {
+  sz::Config cfg;
+  cfg.error_bound = 1e-3;
+  auto codec_sync = std::make_shared<SzActivationCodec>(cfg);
+  auto codec_async = std::make_shared<SzActivationCodec>(cfg);
+  nn::CodecStore sync(codec_sync);
+  nn::AsyncCodecStore async(codec_async);
+
+  std::vector<nn::StashHandle> hs, ha;
+  for (int i = 0; i < 6; ++i) {
+    Tensor t = testutil::relu_like_tensor(Shape::nchw(1, 4, 16, 16),
+                                          900 + static_cast<std::uint64_t>(i), 0.5);
+    const std::string layer = "conv" + std::to_string(i);
+    hs.push_back(sync.stash(layer, t.clone()));
+    ha.push_back(async.stash(layer, std::move(t)));
+  }
+  // Reverse (backward-pass) order, the demanding case for the pipeline.
+  for (int i = 5; i >= 0; --i) {
+    Tensor a = sync.retrieve(hs[static_cast<std::size_t>(i)]);
+    Tensor b = async.retrieve(ha[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(a.numel(), b.numel());
+    for (std::size_t k = 0; k < a.numel(); ++k) ASSERT_EQ(a[k], b[k]) << i;
+  }
+  EXPECT_EQ(async.held_bytes(), 0u);
+}
+
+TEST(AsyncStoreTest, StatsAggregateAfterDrain) {
+  sz::Config cfg;
+  cfg.error_bound = 1e-3;
+  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg));
+  const auto h1 = store.stash("a", testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 910, 0.5));
+  const auto h2 = store.stash("a", testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 911, 0.5));
+  store.drain();
+  const auto st = store.stats();
+  ASSERT_EQ(st.count("a"), 1u);
+  EXPECT_EQ(st.at("a").stashed_tensors, 2u);
+  EXPECT_EQ(st.at("a").original_bytes, 2u * 8 * 32 * 32 * sizeof(float));
+  EXPECT_GT(st.at("a").compression_ratio(), 1.0);
+  // After drain every stash is encoded: held bytes are compressed bytes only.
+  EXPECT_EQ(store.held_bytes(), st.at("a").stored_bytes);
+  (void)store.retrieve(h1);
+  (void)store.retrieve(h2);
+  EXPECT_EQ(store.held_bytes(), 0u);
+}
+
+TEST(AsyncStoreTest, BackpressureBoundsPendingRawBytes) {
+  // With queue depth 1 at most one raw tensor waits while one is encoded, so
+  // held_bytes never exceeds raw(2 tensors) + encoded(everything else).
+  sz::Config cfg;
+  cfg.error_bound = 1e-2;
+  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg), 1);
+  const std::size_t raw = 4 * 32 * 32 * sizeof(float);
+  std::vector<nn::StashHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(store.stash(
+        "l", testutil::relu_like_tensor(Shape::nchw(1, 4, 32, 32),
+                                        920 + static_cast<std::uint64_t>(i), 0.5)));
+    EXPECT_LE(store.held_bytes(), 2 * raw + 8 * raw / 2);  // generous compressed slack
+  }
+  store.drain();
+  EXPECT_LT(store.held_bytes(), 8 * raw / 2);  // everything compressed now
+  for (auto h : handles) (void)store.retrieve(h);
+}
+
+TEST(AsyncStoreTest, UnknownHandleThrows) {
+  sz::Config cfg;
+  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg));
+  EXPECT_THROW(store.retrieve(12345), std::logic_error);
+}
+
 TEST(AdaptiveSchemeTest, ShouldUpdateEveryW) {
   FrameworkConfig cfg;
   cfg.active_factor_w = 100;

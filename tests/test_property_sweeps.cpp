@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "baselines/lossless.hpp"
@@ -37,6 +38,7 @@ struct CompressorCase {
   double sparsity;
   float scale;
   std::size_t n;
+  std::uint32_t num_threads = 0;
 };
 
 class CompressorContract : public ::testing::TestWithParam<CompressorCase> {};
@@ -51,6 +53,7 @@ TEST_P(CompressorContract, BoundHoldsAndRoundtrips) {
   cfg.zero_mode = c.zero_mode;
   cfg.radius = c.radius;
   cfg.block_size = c.block_size;
+  cfg.num_threads = c.num_threads;
   sz::Compressor comp(cfg);
   const auto buf = comp.compress({data.data(), c.n});
   EXPECT_EQ(buf.num_elements, c.n);
@@ -83,7 +86,50 @@ INSTANTIATE_TEST_SUITE_P(
         CompressorCase{1e-3, sz::ZeroMode::kNone, 32768, 65536, 0.5, 1e4f, 20000},
         CompressorCase{1e-6, sz::ZeroMode::kRezero, 32768, 65536, 0.5, 1.0f, 10000},
         CompressorCase{1e-3, sz::ZeroMode::kNone, 32768, 65536, 0.5, 1.0f, 1},
-        CompressorCase{1e-3, sz::ZeroMode::kExactRle, 32768, 65536, 0.5, 1.0f, 2}));
+        CompressorCase{1e-3, sz::ZeroMode::kExactRle, 32768, 65536, 0.5, 1.0f, 2},
+        // Same contract through the block-parallel path at fixed and
+        // oversubscribed thread counts.
+        CompressorCase{1e-3, sz::ZeroMode::kRezero, 32768, 4096, 0.5, 1.0f, 120000, 2},
+        CompressorCase{1e-4, sz::ZeroMode::kExactRle, 32768, 4096, 0.7, 1.0f, 120000, 8},
+        CompressorCase{1e-3, sz::ZeroMode::kNone, 256, 1024, 0.3, 10.0f, 60000, 4}));
+
+// Randomized shapes/bounds/thread-counts: the error-bound contract must hold
+// and the bytes must match the serial reference for every drawn config.
+TEST(CompressorRandomized, ContractAndDeterminismUnderRandomConfigs) {
+  Rng rng(7777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(150000);
+    const double eb = std::pow(10.0, -1.0 - 5.0 * rng.uniform());
+    const double sparsity = rng.uniform();
+    const float scale = static_cast<float>(std::pow(10.0, 2.0 * rng.uniform() - 1.0));
+    const std::uint32_t block_size = static_cast<std::uint32_t>(64 + rng.uniform_index(32768));
+    const auto zero_mode = static_cast<sz::ZeroMode>(rng.uniform_index(3));
+    const std::uint32_t threads = static_cast<std::uint32_t>(1 + rng.uniform_index(8));
+
+    std::vector<float> data(n);
+    rng.fill_relu_like({data.data(), n}, sparsity, scale);
+    sz::Config cfg;
+    cfg.error_bound = eb;
+    cfg.zero_mode = zero_mode;
+    cfg.block_size = block_size;
+    cfg.num_threads = threads;
+    sz::Compressor comp(cfg);
+    const auto buf = comp.compress({data.data(), n});
+    const auto recon = comp.decompress(buf);
+    ASSERT_EQ(recon.size(), n);
+    const double bound = zero_mode == sz::ZeroMode::kRezero ? 2.0 * eb : eb;
+    ASSERT_TRUE(sz::within_bound({data.data(), n}, {recon.data(), n}, bound * (1 + 1e-9)))
+        << "trial " << trial << " n=" << n << " eb=" << eb
+        << " threads=" << threads << " max err "
+        << sz::max_abs_error({data.data(), n}, {recon.data(), n});
+
+    sz::Config serial_cfg = cfg;
+    serial_cfg.num_threads = 1;
+    const auto serial_buf = sz::Compressor(serial_cfg).compress({data.data(), n});
+    ASSERT_EQ(buf.bytes, serial_buf.bytes)
+        << "trial " << trial << ": parallel bytes diverge from serial reference";
+  }
+}
 
 // --- Conv geometry gradient sweep ------------------------------------------------
 

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/error_injection.hpp"
 #include "core/session.hpp"
 #include "models/model_zoo.hpp"
@@ -79,6 +81,28 @@ TEST(TrainingSessionTest, FrameworkCompressesAndTrains) {
   for (int i = 0; i < 5; ++i) early += session.history()[i].loss;
   for (int i = 25; i < 30; ++i) late += session.history()[i].loss;
   EXPECT_LT(late, early);
+}
+
+TEST(TrainingSessionTest, AsyncFrameworkTrainsLikeSync) {
+  // The double-buffered async store must behave like the synchronous one at
+  // the training level: same lossy roundtrip semantics, so loss decreases,
+  // compression ratios show up, and nothing deadlocks across forward /
+  // backward / adaptive refresh.
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 16, true, true);
+  SessionConfig cfg = fast_framework();
+  cfg.framework.async_compression = true;
+  cfg.framework.async_queue_depth = 2;
+  TrainingSession session(*net, loader, cfg);
+  session.run(30);
+  ASSERT_EQ(session.history().size(), 30u);
+  EXPECT_GT(session.history().back().mean_compression_ratio, 1.5);
+  double early = 0.0, late = 0.0;
+  for (int i = 0; i < 5; ++i) early += session.history()[i].loss;
+  for (int i = 25; i < 30; ++i) late += session.history()[i].loss;
+  EXPECT_LT(late, early);
+  for (const auto& rec : session.history()) ASSERT_TRUE(std::isfinite(rec.loss));
 }
 
 TEST(TrainingSessionTest, FrameworkAccuracyTracksBaseline) {

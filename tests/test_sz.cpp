@@ -4,11 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "sz/bitstream.hpp"
 #include "sz/compressor.hpp"
 #include "sz/huffman.hpp"
+#include "sz/lz77.hpp"
 #include "sz/metrics.hpp"
 #include "stats/distribution.hpp"
 #include "tensor/rng.hpp"
@@ -53,6 +55,35 @@ TEST(BitStream, ManyRandomBitsRoundtrip) {
   const auto bytes = w.finish();
   BitReader r({bytes.data(), bytes.size()});
   for (auto [v, n] : items) EXPECT_EQ(r.get(n), v);
+}
+
+TEST(BitStream, EmptyWriterFinishesEmpty) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  const auto bytes = w.finish();
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(BitStream, SingleBitRoundtrip) {
+  BitWriter w;
+  w.put_bit(true);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 1u);  // padded to one byte
+  BitReader r({bytes.data(), bytes.size()});
+  EXPECT_TRUE(r.get_bit());
+}
+
+TEST(BitStream, FullWordBoundary) {
+  // Exactly 64 then 64 more bits exercises the accumulator flush path.
+  BitWriter w;
+  w.put(~0ULL, 64);
+  w.put(0x5555555555555555ULL, 64);
+  const auto bytes = w.finish();
+  ASSERT_EQ(bytes.size(), 16u);
+  BitReader r({bytes.data(), bytes.size()});
+  EXPECT_EQ(r.get(64), ~0ULL);
+  EXPECT_EQ(r.get(64), 0x5555555555555555ULL);
+  EXPECT_TRUE(r.exhausted());
 }
 
 TEST(Huffman, RoundtripRandomSymbols) {
@@ -122,6 +153,56 @@ TEST(Huffman, EncodingUnknownSymbolThrows) {
   codec.build(freqs);
   std::vector<std::uint32_t> bad{4};
   EXPECT_THROW(codec.encode(bad), std::logic_error);
+}
+
+TEST(Huffman, EmptySymbolStream) {
+  std::vector<std::uint64_t> freqs(8, 0);
+  freqs[2] = 10;
+  HuffmanCodec codec;
+  codec.build(freqs);
+  const auto enc = codec.encode({});
+  EXPECT_TRUE(enc.empty());
+  EXPECT_TRUE(codec.decode({enc.data(), enc.size()}, 0).empty());
+}
+
+TEST(Huffman, TwoSymbolTableSerializationRoundtrip) {
+  // Smallest non-degenerate alphabet: one bit per symbol.
+  std::vector<std::uint64_t> freqs{3, 5};
+  HuffmanCodec a;
+  a.build(freqs);
+  const auto table = a.serialize_table();
+  HuffmanCodec b;
+  b.deserialize_table({table.data(), table.size()});
+  const std::vector<std::uint32_t> symbols{0, 1, 1, 0, 1};
+  const auto enc = a.encode(symbols);
+  EXPECT_EQ(enc.size(), 1u);  // 5 one-bit codes pad to a single byte
+  EXPECT_EQ(b.decode({enc.data(), enc.size()}, symbols.size()), symbols);
+}
+
+TEST(Lz77, EmptyInputRoundtrip) {
+  const auto enc = lz77_compress({});
+  EXPECT_TRUE(lz77_decompress(enc).empty());
+}
+
+TEST(Lz77, SingleByteRoundtrip) {
+  const std::vector<std::uint8_t> data{0x42};
+  EXPECT_EQ(lz77_decompress(lz77_compress(data)), data);
+}
+
+TEST(Lz77, LongConstantRunCompressesHard) {
+  // Match lengths are deflate-capped, so a constant run compresses to one
+  // short token per ~258 bytes: expect at least ~50:1 on 100 KB of zeros.
+  const std::vector<std::uint8_t> data(100000, 0x00);
+  const auto enc = lz77_compress(data);
+  EXPECT_LT(enc.size(), data.size() / 50);
+  EXPECT_EQ(lz77_decompress(enc), data);
+}
+
+TEST(Lz77, IncompressibleNoiseRoundtrip) {
+  tensor::Rng rng(46);
+  std::vector<std::uint8_t> data(65536);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  EXPECT_EQ(lz77_decompress(lz77_compress(data)), data);
 }
 
 TEST(Huffman, EntropyBitsSane) {
@@ -194,7 +275,9 @@ TEST(Compressor, RezeroPreservesExactZeros) {
   Compressor comp(cfg);
   const auto recon = comp.decompress(comp.compress({data.data(), data.size()}));
   for (std::size_t i = 0; i < data.size(); ++i) {
-    if (data[i] == 0.0f) EXPECT_EQ(recon[i], 0.0f) << i;
+    if (data[i] == 0.0f) {
+      EXPECT_EQ(recon[i], 0.0f) << i;
+    }
   }
 }
 
@@ -351,6 +434,124 @@ TEST(Compressor, MultiBlockMatchesSingleBlock) {
   EXPECT_TRUE(within_bound({data.data(), data.size()}, {rb.data(), rb.size()}, 1e-3));
 }
 
+TEST(Compressor, AllZerosUnderEachZeroMode) {
+  const std::vector<float> zeros(10000, 0.0f);
+  for (const ZeroMode mode : {ZeroMode::kNone, ZeroMode::kRezero, ZeroMode::kExactRle}) {
+    Config cfg;
+    cfg.error_bound = 1e-3;
+    cfg.zero_mode = mode;
+    Compressor comp(cfg);
+    const auto buf = comp.compress({zeros.data(), zeros.size()});
+    const auto recon = comp.decompress(buf);
+    ASSERT_EQ(recon.size(), zeros.size());
+    for (std::size_t i = 0; i < recon.size(); ++i) {
+      ASSERT_EQ(recon[i], 0.0f) << "mode " << static_cast<int>(mode) << " idx " << i;
+    }
+    // An all-zeros tensor must compress to nearly nothing in every mode
+    // (worst case kNone: one bit per symbol plus header ≈ 29x at n=10000).
+    EXPECT_GT(buf.compression_ratio(), 20.0);
+  }
+}
+
+TEST(Compressor, BlockSizeSmallerThanInput) {
+  tensor::Rng rng(47);
+  std::vector<float> data(1000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.4, 1.0f);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.block_size = 7;  // 143 tiny blocks, last one partial
+  cfg.zero_mode = ZeroMode::kNone;
+  Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), data.size()});
+  const auto recon = comp.decompress(buf);
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {recon.data(), recon.size()}, 1e-3));
+}
+
+TEST(Compressor, BlockSizeLargerThanInput) {
+  tensor::Rng rng(48);
+  std::vector<float> data(5);
+  rng.fill_uniform({data.data(), data.size()}, -1.0f, 1.0f);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.block_size = 1u << 20;  // single partial block
+  Compressor comp(cfg);
+  const auto buf = comp.compress({data.data(), data.size()});
+  const auto recon = comp.decompress(buf);
+  EXPECT_TRUE(within_bound({data.data(), data.size()}, {recon.data(), recon.size()}, 1e-3));
+}
+
+TEST(Compressor, SingleElementEveryZeroMode) {
+  for (const ZeroMode mode : {ZeroMode::kNone, ZeroMode::kRezero, ZeroMode::kExactRle}) {
+    Config cfg;
+    cfg.error_bound = 1e-4;
+    cfg.zero_mode = mode;
+    Compressor comp(cfg);
+    const std::vector<float> data{0.31337f};
+    const auto recon = comp.decompress(comp.compress({data.data(), 1}));
+    ASSERT_EQ(recon.size(), 1u);
+    EXPECT_NEAR(recon[0], data[0], 1e-4 * 1.001);
+  }
+}
+
+// --- Block-parallel path: the thread count is a pure throughput knob -------
+
+TEST(CompressorParallel, OutputByteIdenticalAcrossThreadCounts) {
+  tensor::Rng rng(49);
+  std::vector<float> data(300000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.5, 1.0f);
+  auto compress_with = [&](std::uint32_t threads) {
+    Config cfg;
+    cfg.error_bound = 1e-3;
+    cfg.block_size = 8192;  // 37 blocks: enough to expose ordering bugs
+    cfg.num_threads = threads;
+    return Compressor(cfg).compress({data.data(), data.size()});
+  };
+  const auto serial = compress_with(1);
+  for (const std::uint32_t threads : {2u, 8u}) {
+    const auto parallel = compress_with(threads);
+    EXPECT_EQ(parallel.bytes, serial.bytes) << threads << " threads";
+    EXPECT_EQ(parallel.num_elements, serial.num_elements);
+  }
+}
+
+TEST(CompressorParallel, DecompressionIdenticalAcrossThreadCounts) {
+  tensor::Rng rng(50);
+  std::vector<float> data(300000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.5, 1.0f);
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.block_size = 8192;
+  cfg.num_threads = 0;  // compress with every core
+  const auto buf = Compressor(cfg).compress({data.data(), data.size()});
+  Config serial_cfg = cfg;
+  serial_cfg.num_threads = 1;
+  const auto serial = Compressor(serial_cfg).decompress(buf);
+  for (const std::uint32_t threads : {2u, 8u}) {
+    Config par_cfg = cfg;
+    par_cfg.num_threads = threads;
+    const auto parallel = Compressor(par_cfg).decompress(buf);
+    EXPECT_EQ(parallel, serial) << threads << " threads";
+  }
+}
+
+TEST(CompressorParallel, ExactRleByteIdenticalAcrossThreadCounts) {
+  // The zero-RLE side stream plus packed payload must also be deterministic.
+  tensor::Rng rng(51);
+  std::vector<float> data(200000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.8, 1.0f);
+  auto compress_with = [&](std::uint32_t threads) {
+    Config cfg;
+    cfg.error_bound = 1e-3;
+    cfg.zero_mode = ZeroMode::kExactRle;
+    cfg.block_size = 4096;
+    cfg.num_threads = threads;
+    return Compressor(cfg).compress({data.data(), data.size()});
+  };
+  const auto serial = compress_with(1);
+  EXPECT_EQ(compress_with(2).bytes, serial.bytes);
+  EXPECT_EQ(compress_with(8).bytes, serial.bytes);
+}
+
 TEST(Compressor, InvalidConfigThrows) {
   Config cfg;
   cfg.error_bound = 0.0;
@@ -361,6 +562,52 @@ TEST(Compressor, InvalidConfigThrows) {
   Config cfg3;
   cfg3.block_size = 0;
   EXPECT_THROW(Compressor{cfg3}, std::invalid_argument);
+}
+
+TEST(Compressor, CorruptBufferThrowsInsteadOfCrashing) {
+  tensor::Rng rng(52);
+  std::vector<float> data(5000);
+  rng.fill_relu_like({data.data(), data.size()}, 0.5, 1.0f);
+  Compressor comp;
+  const auto buf = comp.compress({data.data(), data.size()});
+  std::vector<float> out(data.size());
+
+  // Truncated mid-header.
+  CompressedBuffer trunc;
+  trunc.num_elements = buf.num_elements;
+  trunc.bytes.assign(buf.bytes.begin(), buf.bytes.begin() + 50);
+  EXPECT_THROW(comp.decompress(trunc, {out.data(), out.size()}), std::runtime_error);
+
+  // table_bytes forged to ~2^64: an unchecked sum would wrap past the guard.
+  CompressedBuffer forged;
+  forged.num_elements = buf.num_elements;
+  forged.bytes = buf.bytes;
+  std::memset(forged.bytes.data() + 38, 0xFF, 8);  // Header::table_bytes offset
+  EXPECT_THROW(comp.decompress(forged, {out.data(), out.size()}), std::runtime_error);
+
+  // Payload shorter than the block index promises.
+  CompressedBuffer short_payload;
+  short_payload.num_elements = buf.num_elements;
+  short_payload.bytes.assign(buf.bytes.begin(), buf.bytes.end() - 100);
+  EXPECT_THROW(comp.decompress(short_payload, {out.data(), out.size()}),
+               std::runtime_error);
+
+  // num_quantized forged past num_elements: would move the output bounds.
+  CompressedBuffer count_forged;
+  count_forged.num_elements = buf.num_elements;
+  count_forged.bytes = buf.bytes;
+  std::memset(count_forged.bytes.data() + 30, 0x7F, 8);  // Header::num_quantized
+  EXPECT_THROW(comp.decompress(count_forged, {out.data(), out.size()}),
+               std::runtime_error);
+
+  // Predictor byte forged to kLorenzo2D against a 1-D compressor
+  // (plane_width 0): must throw, not divide by zero.
+  CompressedBuffer pred_forged;
+  pred_forged.num_elements = buf.num_elements;
+  pred_forged.bytes = buf.bytes;
+  pred_forged.bytes[20] = 1;  // Header::predictor
+  EXPECT_THROW(comp.decompress(pred_forged, {out.data(), out.size()}),
+               std::runtime_error);
 }
 
 TEST(Compressor, DecompressSizeMismatchThrows) {
