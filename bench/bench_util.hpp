@@ -8,9 +8,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/activation_store.hpp"
@@ -72,5 +76,44 @@ inline double time_median(const std::function<void()>& fn, int runs = 3) {
   std::sort(ts.begin(), ts.end());
   return ts[ts.size() / 2];
 }
+
+/// Machine-readable results sink: rows accumulate as {name, metric: value}
+/// and flush to `BENCH_<bench>.json` on destruction, so CI can diff
+/// throughput numbers across commits without scraping stdout. The output
+/// directory defaults to the working directory and can be redirected with
+/// EBCT_BENCH_DIR. Numbers are emitted with enough precision to round-trip.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  ~JsonReporter() {
+    if (rows_.empty()) return;
+    std::string dir = ".";
+    if (const char* env = std::getenv("EBCT_BENCH_DIR")) dir = env;
+    std::ofstream out(dir + "/BENCH_" + bench_ + ".json");
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "    {\"name\": \"" << rows_[r].first << "\"";
+      for (const auto& [metric, value] : rows_[r].second) {
+        std::ostringstream num;
+        num.precision(17);
+        num << value;
+        out << ", \"" << metric << "\": " << num.str();
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  /// Record one named row of metric -> value pairs (insertion-ordered).
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    rows_.emplace_back(name, std::move(metrics));
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
+};
 
 }  // namespace ebct::bench

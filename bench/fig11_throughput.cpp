@@ -114,6 +114,7 @@ void async_store_section() {
 int main() {
   std::puts("=== Fig. 11 — training throughput vs batch size (ResNet-50) ===\n");
 
+  bench::JsonReporter report("fig11_throughput");
   compressor_throughput_section();
   async_store_section();
 
@@ -130,6 +131,10 @@ int main() {
     tb = std::min(tb, step_seconds(core::StoreMode::kBaseline, n));
     meas.add_row({memory::fmt("%zu", n), memory::fmt("%.1f", n / tb),
                   memory::fmt("%.1f", n / tf), memory::fmt("%.0f%%", 100.0 * (tf - tb) / tb)});
+    report.add("step_batch_" + std::to_string(n),
+               {{"baseline_img_per_s", n / tb},
+                {"framework_img_per_s", n / tf},
+                {"overhead_frac", (tf - tb) / tb}});
   }
   meas.print();
 

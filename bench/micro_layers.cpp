@@ -72,6 +72,30 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
+// Conv-layer GEMM geometry (m = out_channels, k = in_channels*kh*kw,
+// n = out_h*out_w): small m with large n is the shape the old row-parallel
+// kernel ran serial on; the 2D-tiled engine must sustain full throughput.
+void BM_GemmConvShape(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = static_cast<std::size_t>(state.range(2));
+  std::vector<float> a(m * k), b(k * n), c(m * n);
+  tensor::Rng rng(5400);
+  rng.fill_normal({a.data(), a.size()}, 0.0f, 1.0f);
+  rng.fill_normal({b.data(), b.size()}, 0.0f, 1.0f);
+  for (auto _ : state) {
+    tensor::gemm(a.data(), b.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * k * n * state.iterations() / 1e9, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmConvShape)
+    ->Args({64, 576, 3136})    // 64ch 3x3 over 56x56
+    ->Args({192, 1728, 784})   // 192ch 3x3 over 28x28
+    ->Args({96, 64, 3136})     // 1x1 bottleneck
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

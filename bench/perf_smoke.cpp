@@ -1,0 +1,155 @@
+// Reduced-size performance smoke test, run as a CTest target so CI catches
+// structural perf regressions without relying on wall-clock thresholds
+// (shared runners are too noisy for that). It asserts:
+//   1. conv-shaped GEMMs (small m, large n) plan a parallel 2D tile grid —
+//      the serial-fallback bug class this engine was built to kill;
+//   2. GEMM outputs are bitwise identical across thread counts;
+//   3. a conv forward+backward pair is bitwise identical across thread
+//      counts (fixed-fanout gradient reduction).
+// It also times the reduced shapes and emits BENCH_perf_smoke.json for
+// trend tracking. Exit code 0 = pass.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+#include "tensor/rng.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace {
+
+using namespace ebct;
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "perf_smoke FAIL: %s\n", what);
+    ++g_failures;
+  }
+}
+
+void set_threads(int t) {
+#ifdef _OPENMP
+  omp_set_num_threads(t);
+#else
+  (void)t;
+#endif
+}
+
+/// Conv layer geometry from the Inception zoo: m = out_channels is far below
+/// the old 4096-row parallel grain, so the seed GEMM ran serial here.
+struct ConvShape {
+  std::size_t m, k, n;
+};
+constexpr ConvShape kConvShapes[] = {
+    {64, 576, 3136},   // 64ch 3x3 over 56x56
+    {192, 1728, 784},  // 192ch 3x3 over 28x28
+    {96, 64, 3136},    // 1x1 bottleneck
+};
+
+void check_parallel_plan() {
+  for (const auto& s : kConvShapes) {
+    const tensor::GemmStats plan = tensor::gemm_plan(s.m, s.k, s.n);
+    check(plan.tiles > 1, "conv-shaped GEMM decomposes into >1 tile");
+    check(plan.parallel, "conv-shaped GEMM passes the work-based grain");
+  }
+  // Tiny problems must stay serial — fork/join would swamp them.
+  check(!tensor::gemm_plan(16, 16, 16).parallel, "tiny GEMM stays serial");
+}
+
+void check_gemm_determinism() {
+  const ConvShape s = kConvShapes[0];
+  tensor::Rng rng(42);
+  std::vector<float> a(s.m * s.k), b(s.k * s.n);
+  rng.fill_normal({a.data(), a.size()}, 0.0f, 1.0f);
+  rng.fill_normal({b.data(), b.size()}, 0.0f, 1.0f);
+  std::vector<float> ref(s.m * s.n), got(s.m * s.n);
+  set_threads(1);
+  tensor::gemm(a.data(), b.data(), ref.data(), s.m, s.k, s.n);
+  for (int t : {2, 4}) {
+    set_threads(t);
+    tensor::gemm(a.data(), b.data(), got.data(), s.m, s.k, s.n);
+    check(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)) == 0,
+          "GEMM bitwise identical across thread counts");
+  }
+}
+
+void check_conv_determinism() {
+  auto run = [](int threads, std::vector<float>& out, std::vector<float>& wgrad) {
+    set_threads(threads);
+    tensor::Rng rng(7);
+    nn::Conv2d conv("c", nn::Conv2dSpec{16, 32, 3, 1, 1}, rng);
+    nn::RawStore store;
+    conv.set_store(&store);
+    tensor::Tensor x(tensor::Shape::nchw(6, 16, 20, 20));
+    rng.fill_normal(x.span(), 0.0f, 1.0f);
+    tensor::Tensor y = conv.forward(x, true);
+    tensor::Tensor gi = conv.backward(tensor::Tensor(y.shape(), 0.1f));
+    out.assign(y.data(), y.data() + y.numel());
+    out.insert(out.end(), gi.data(), gi.data() + gi.numel());
+    wgrad.assign(conv.weight().grad.data(),
+                 conv.weight().grad.data() + conv.weight().grad.numel());
+  };
+  std::vector<float> ref_out, ref_wg, out, wg;
+  run(1, ref_out, ref_wg);
+  for (int t : {2, 4}) {
+    run(t, out, wg);
+    check(std::memcmp(ref_out.data(), out.data(), out.size() * sizeof(float)) == 0,
+          "conv forward/input-grad bitwise identical across thread counts");
+    check(std::memcmp(ref_wg.data(), wg.data(), wg.size() * sizeof(float)) == 0,
+          "conv weight-grad bitwise identical across thread counts");
+  }
+}
+
+void time_reduced_shapes(bench::JsonReporter& report, int machine_threads) {
+  set_threads(machine_threads);
+  for (const auto& s : kConvShapes) {
+    tensor::Rng rng(9);
+    std::vector<float> a(s.m * s.k), b(s.k * s.n), c(s.m * s.n);
+    rng.fill_normal({a.data(), a.size()}, 0.0f, 1.0f);
+    rng.fill_normal({b.data(), b.size()}, 0.0f, 1.0f);
+    const double sec = bench::time_median(
+        [&] { tensor::gemm(a.data(), b.data(), c.data(), s.m, s.k, s.n); });
+    const double gflops = 2.0 * s.m * s.k * s.n / sec / 1e9;
+    char name[64];
+    std::snprintf(name, sizeof(name), "gemm_m%zu_k%zu_n%zu", s.m, s.k, s.n);
+    std::printf("%-24s %8.3f ms  %7.2f GFLOP/s\n", name, sec * 1e3, gflops);
+    report.add(name, {{"seconds", sec}, {"gflops", gflops}});
+  }
+
+  tensor::Rng rng(11);
+  nn::Conv2d conv("c", nn::Conv2dSpec{32, 64, 3, 1, 1}, rng);
+  nn::RawStore store;
+  conv.set_store(&store);
+  tensor::Tensor x(tensor::Shape::nchw(4, 32, 28, 28));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  const double sec = bench::time_median([&] {
+    tensor::Tensor y = conv.forward(x, true);
+    conv.backward(tensor::Tensor(y.shape(), 0.1f));
+  });
+  std::printf("%-24s %8.3f ms\n", "conv_fwd_bwd", sec * 1e3);
+  report.add("conv_fwd_bwd", {{"seconds", sec}});
+}
+
+}  // namespace
+
+int main() {
+  // Captured before the determinism checks clamp the OpenMP thread count.
+  const int machine_threads = tensor::hardware_threads();
+  bench::JsonReporter report("perf_smoke");
+  check_parallel_plan();
+  check_gemm_determinism();
+  check_conv_determinism();
+  time_reduced_shapes(report, machine_threads);
+  if (g_failures == 0) std::printf("perf_smoke: all structural checks passed\n");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "tensor/alloc.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 
@@ -12,6 +13,13 @@ namespace ebct::nn {
 
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+/// Fixed fan-out of the weight-gradient reduction. Bounds the partial-buffer
+/// memory (parts x weight size) while staying thread-count independent so
+/// gradients are byte-identical at any parallelism level.
+constexpr std::size_t kGradParts = 16;
+}  // namespace
 
 Conv2d::Conv2d(std::string name, Conv2dSpec spec, tensor::Rng& rng)
     : Layer(std::move(name)),
@@ -50,20 +58,23 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   const std::size_t out_img = out_shape.c() * ohow;
 
   Tensor out(out_shape);
-  tensor::parallel_chunks(n, [&](std::size_t begin, std::size_t end, std::size_t) {
-    std::vector<float> cols(k * ohow);
-    for (std::size_t s = begin; s < end; ++s) {
-      tensor::im2col(input.data() + s * in_img, spec_.in_channels, input.shape().h(),
-                     input.shape().w(), spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
-                     cols.data(), spec_.pw());
-      tensor::gemm(weight_.value.data(), cols.data(), out.data() + s * out_img,
-                   spec_.out_channels, k, ohow);
-      if (spec_.bias) {
-        for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
-          float* row = out.data() + s * out_img + oc * ohow;
-          const float b = bias_.value[oc];
-          for (std::size_t j = 0; j < ohow; ++j) row[j] += b;
-        }
+  // Parallel across the batch; samples are independent so any schedule gives
+  // identical bytes. The im2col buffer comes from the thread-local scratch
+  // arena — reused across samples and iterations, never reallocated. With a
+  // single sample the task loop stays serial and the GEMM engine's own 2D
+  // tile parallelism takes over instead.
+  tensor::parallel_for_tasks(n, 0, [&](std::size_t s) {
+    tensor::ScratchBuffer cols(k * ohow);
+    tensor::im2col(input.data() + s * in_img, spec_.in_channels, input.shape().h(),
+                   input.shape().w(), spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
+                   cols.data(), spec_.pw());
+    tensor::gemm(weight_.value.data(), cols.data(), out.data() + s * out_img,
+                 spec_.out_channels, k, ohow);
+    if (spec_.bias) {
+      for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
+        float* row = out.data() + s * out_img + oc * ohow;
+        const float b = bias_.value[oc];
+        for (std::size_t j = 0; j < ohow; ++j) row[j] += b;
       }
     }
   });
@@ -91,18 +102,25 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::size_t out_img = out_shape.c() * ohow;
 
   Tensor grad_input(input_shape_);
+  if (n == 0) return grad_input;
 
-  const int nthreads = tensor::hardware_threads();
+  // Weight/bias gradients reduce across the batch, so the partition must be
+  // a function of the batch size alone — never of the thread count — for
+  // byte-identical results at any parallelism level: each part accumulates
+  // its samples in index order, and parts are folded into the grads in part
+  // order below.
+  const std::size_t parts = std::min<std::size_t>(n, kGradParts);
+  const std::size_t per_part = (n + parts - 1) / parts;
   std::vector<std::vector<float>> wgrad_parts(
-      static_cast<std::size_t>(nthreads), std::vector<float>(weight_.value.numel(), 0.0f));
-  std::vector<std::vector<float>> bgrad_parts(
-      static_cast<std::size_t>(nthreads), std::vector<float>(spec_.out_channels, 0.0f));
-  std::vector<int> part_used(static_cast<std::size_t>(nthreads), 0);
+      parts, std::vector<float>(weight_.value.numel(), 0.0f));
+  std::vector<std::vector<float>> bgrad_parts(parts,
+                                              std::vector<float>(spec_.out_channels, 0.0f));
 
-  tensor::parallel_chunks(n, [&](std::size_t begin, std::size_t end, std::size_t part) {
-    part_used[part] = 1;
-    std::vector<float> cols(k * ohow);
-    std::vector<float> cols_grad(k * ohow);
+  tensor::parallel_for_tasks(parts, 0, [&](std::size_t part) {
+    const std::size_t begin = part * per_part;
+    const std::size_t end = std::min(n, begin + per_part);
+    tensor::ScratchBuffer cols(k * ohow);
+    tensor::ScratchBuffer cols_grad(k * ohow);
     auto& wg = wgrad_parts[part];
     auto& bg = bgrad_parts[part];
     for (std::size_t s = begin; s < end; ++s) {
@@ -130,8 +148,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
   });
 
-  for (std::size_t p = 0; p < wgrad_parts.size(); ++p) {
-    if (!part_used[p]) continue;
+  for (std::size_t p = 0; p < parts; ++p) {
     tensor::axpy(1.0f, {wgrad_parts[p].data(), wgrad_parts[p].size()}, weight_.grad.span());
     if (spec_.bias)
       tensor::axpy(1.0f, {bgrad_parts[p].data(), bgrad_parts[p].size()}, bias_.grad.span());

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
 
 namespace ebct::nn {
 
@@ -29,10 +30,10 @@ Tensor Linear::forward(const Tensor& input, bool /*train*/) {
   Tensor out(Shape{n, out_features_});
   tensor::gemm_bt(input.data(), weight_.value.data(), out.data(), n, in_features_,
                   out_features_);
-  for (std::size_t s = 0; s < n; ++s) {
+  tensor::parallel_for(n, out_features_, [&](std::size_t s) {
     float* row = out.data() + s * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
-  }
+  });
   saved_input_ = input.clone();
   return out;
 }

@@ -63,23 +63,36 @@ class BitWriter {
   unsigned fill_ = 0;
 };
 
+/// Word-buffered reader: bits are staged in a 64-bit accumulator refilled in
+/// 32-bit gulps, so hot decoders (the Huffman LUT) pay one peek + one skip
+/// per symbol instead of a byte-bounded loop per bit. Reading past the end
+/// yields zero bits; callers track logical lengths.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   std::uint64_t get(unsigned nbits) {
-    std::uint64_t out = 0;
-    while (nbits > 0) {
-      if (avail_ == 0) refill();
-      const unsigned take = nbits < avail_ ? nbits : avail_;
-      out = (out << take) | ((acc_ >> (avail_ - take)) & mask(take));
-      avail_ -= take;
-      nbits -= take;
+    if (nbits > 32) {
+      const std::uint64_t hi = get(nbits - 32);
+      return (hi << 32) | get(32);
     }
-    return out;
+    const std::uint64_t v = peek(nbits);
+    consume(nbits);
+    return v;
   }
 
   bool get_bit() { return get(1) != 0; }
+
+  /// Next `nbits` (<= 32) without consuming, MSB-first, zero-padded past the
+  /// end of the stream.
+  std::uint32_t peek(unsigned nbits) {
+    if (nbits == 0) return 0;
+    ensure(nbits);
+    return static_cast<std::uint32_t>((acc_ >> (avail_ - nbits)) & mask(nbits));
+  }
+
+  /// Discard `nbits` previously made available by peek().
+  void skip(unsigned nbits) { consume(nbits); }
 
   std::uint64_t get_varint() {
     std::uint64_t v = 0;
@@ -93,21 +106,40 @@ class BitReader {
     return v;
   }
 
-  bool exhausted() const { return pos_ >= bytes_.size() && avail_ == 0; }
+  /// True once every real input bit has been consumed (zero padding fetched
+  /// by overreads does not count as remaining input).
+  bool exhausted() const { return pos_ >= bytes_.size() && avail_ <= padding_; }
 
  private:
   static std::uint64_t mask(unsigned n) { return n >= 64 ? ~0ULL : ((1ULL << n) - 1); }
-  void refill() {
-    acc_ = 0;
-    avail_ = 0;
-    while (avail_ < 64 && pos_ < bytes_.size()) {
-      acc_ = (acc_ << 8) | bytes_[pos_++];
-      avail_ += 8;
-    }
-    if (avail_ == 0) {
-      // Reading past the end yields zeros; callers track logical lengths.
-      acc_ = 0;
-      avail_ = 64;
+
+  void consume(unsigned nbits) {
+    avail_ -= nbits;
+    if (padding_ > avail_) padding_ = avail_;
+  }
+
+  /// Top up the accumulator until `nbits` are staged: whole 32-bit words
+  /// while at least four input bytes remain, single bytes at the tail, and
+  /// zero bytes past the end (tracked as padding so exhausted() stays
+  /// accurate).
+  void ensure(unsigned nbits) {
+    while (avail_ < nbits) {
+      if (avail_ <= 32 && pos_ + 4 <= bytes_.size()) {
+        const std::uint64_t word = (std::uint64_t{bytes_[pos_]} << 24) |
+                                   (std::uint64_t{bytes_[pos_ + 1]} << 16) |
+                                   (std::uint64_t{bytes_[pos_ + 2]} << 8) |
+                                   std::uint64_t{bytes_[pos_ + 3]};
+        acc_ = (acc_ << 32) | word;
+        avail_ += 32;
+        pos_ += 4;
+      } else if (pos_ < bytes_.size()) {
+        acc_ = (acc_ << 8) | bytes_[pos_++];
+        avail_ += 8;
+      } else {
+        acc_ <<= 8;
+        avail_ += 8;
+        padding_ += 8;
+      }
     }
   }
 
@@ -115,6 +147,7 @@ class BitReader {
   std::size_t pos_ = 0;
   std::uint64_t acc_ = 0;
   unsigned avail_ = 0;
+  unsigned padding_ = 0;
 };
 
 }  // namespace ebct::sz

@@ -105,6 +105,20 @@ void HuffmanCodec::assign_canonical() {
     codes_[s] = next[len]++;
     sorted_symbols_[offset_[len] + fill[len]++] = s;
   }
+
+  // Decode LUT: every lut_bits_ window whose prefix is a code of length
+  // l <= lut_bits_ maps straight to (symbol, l); windows left at len 0
+  // belong to longer codes and fall through to the canonical scan.
+  lut_bits_ = std::min<unsigned>(kLutBits, max_len);
+  lut_.assign(lut_bits_ > 0 ? (std::size_t{1} << lut_bits_) : 0, LutEntry{});
+  for (std::uint32_t s = 0; s < alphabet; ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0 || len > lut_bits_) continue;
+    const std::size_t base = std::size_t{codes_[s]} << (lut_bits_ - len);
+    const std::size_t span = std::size_t{1} << (lut_bits_ - len);
+    for (std::size_t w = 0; w < span; ++w)
+      lut_[base + w] = {s, static_cast<std::uint8_t>(len)};
+  }
 }
 
 std::vector<std::uint8_t> HuffmanCodec::encode(std::span<const std::uint32_t> symbols) const {
@@ -121,21 +135,35 @@ std::vector<std::uint32_t> HuffmanCodec::decode(std::span<const std::uint8_t> by
                                                 std::size_t count) const {
   std::vector<std::uint32_t> out;
   out.reserve(count);
+  if (count > 0 && count_.empty())
+    throw std::runtime_error("HuffmanCodec::decode: no code table");
   BitReader r(bytes);
   const unsigned max_len = static_cast<unsigned>(count_.size()) - 1;
   for (std::size_t i = 0; i < count; ++i) {
-    std::uint32_t code = 0;
-    unsigned len = 0;
-    while (true) {
-      code = (code << 1) | (r.get_bit() ? 1u : 0u);
-      ++len;
-      if (len > max_len) throw std::runtime_error("HuffmanCodec::decode: corrupt stream");
+    // Fast path: one lut_bits_ peek resolves every code of that length or
+    // shorter with a single table load.
+    if (lut_bits_ > 0) {
+      const LutEntry e = lut_[r.peek(lut_bits_)];
+      if (e.len != 0) {
+        r.skip(e.len);
+        out.push_back(e.symbol);
+        continue;
+      }
+    }
+    // Slow path (codes longer than lut_bits_, or an empty table): peek the
+    // maximal window once and scan the canonical first-code ranges.
+    const std::uint32_t window = r.peek(max_len);
+    unsigned len = lut_bits_ + 1;
+    for (; len <= max_len; ++len) {
+      const std::uint32_t code = window >> (max_len - len);
       if (count_[len] > 0 && code >= first_code_[len] &&
           code - first_code_[len] < count_[len]) {
         out.push_back(sorted_symbols_[offset_[len] + (code - first_code_[len])]);
+        r.skip(len);
         break;
       }
     }
+    if (len > max_len) throw std::runtime_error("HuffmanCodec::decode: corrupt stream");
   }
   return out;
 }
@@ -161,12 +189,25 @@ void HuffmanCodec::deserialize_table(std::span<const std::uint8_t> bytes) {
   lengths_.assign(alphabet, 0);
   std::size_t i = 0;
   while (i < alphabet) {
-    const auto len = static_cast<std::uint8_t>(r.get_varint());
+    const std::uint64_t raw_len = r.get_varint();
+    // The decoder's peek window and canonical shifts assume lengths fit in
+    // 32 bits; build() guarantees that, so anything longer is corruption.
+    if (raw_len > kMaxCodeLen) throw std::runtime_error("Huffman table: code length > 32");
+    const auto len = static_cast<std::uint8_t>(raw_len);
     const std::size_t run = r.get_varint();
     if (i + run > alphabet) throw std::runtime_error("Huffman table: corrupt run length");
     for (std::size_t k = 0; k < run; ++k) lengths_[i + k] = len;
     i += run;
   }
+  // Kraft inequality: sum of 2^-len over coded symbols must not exceed 1,
+  // or the lengths are not a prefix code and canonical code assignment
+  // (and the decode-LUT fill) would run past its tables. build() always
+  // satisfies this; serialized bytes are disk/attacker-controlled.
+  std::uint64_t kraft = 0;  // in units of 2^-kMaxCodeLen
+  for (const auto len : lengths_)
+    if (len > 0) kraft += std::uint64_t{1} << (kMaxCodeLen - len);
+  if (kraft > (std::uint64_t{1} << kMaxCodeLen))
+    throw std::runtime_error("Huffman table: not a prefix code");
   assign_canonical();
 }
 

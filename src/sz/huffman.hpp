@@ -35,8 +35,20 @@ class HuffmanCodec {
   /// Shannon-optimal size estimate in bits for the given frequencies.
   static double entropy_bits(std::span<const std::uint64_t> freqs);
 
+  /// Width of the decode lookup table: one peek of this many bits resolves
+  /// any code of length <= kLutBits in a single table load. Longer (rare)
+  /// codes fall back to the canonical first-code scan.
+  static constexpr unsigned kLutBits = 11;
+
  private:
   void assign_canonical();
+
+  /// LUT entry: the decoded symbol and its code length (0 = no code of
+  /// length <= kLutBits has this prefix; take the slow path).
+  struct LutEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t len = 0;
+  };
 
   std::vector<std::uint8_t> lengths_;    // per-symbol code length (0 = unused)
   std::vector<std::uint32_t> codes_;     // per-symbol canonical code
@@ -45,6 +57,9 @@ class HuffmanCodec {
   std::vector<std::uint32_t> offset_;        // per length, into sorted_symbols_
   std::vector<std::uint32_t> count_;         // per length
   std::vector<std::uint32_t> sorted_symbols_;
+  // Table-driven fast path, rebuilt alongside the canonical tables.
+  std::vector<LutEntry> lut_;
+  unsigned lut_bits_ = 0;  // min(kLutBits, max code length)
 };
 
 }  // namespace ebct::sz

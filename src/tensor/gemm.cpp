@@ -1,0 +1,170 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tensor/alloc.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/parallel.hpp"
+
+namespace ebct::tensor {
+
+namespace {
+
+using B = GemmBlocking;
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Pack an mc x kc block of A (element (i, kk) at a[i*rs + kk*cs]) into
+/// kMr-row panels: panel p holds rows [p*kMr, p*kMr+kMr) stored kk-major so
+/// the micro-kernel streams it linearly. Short panels are zero-padded, which
+/// keeps the kernel branch-free and — because the padded lanes multiply into
+/// accumulator rows that are never stored — bitwise-neutral.
+void pack_a(const float* a, std::size_t rs, std::size_t cs, std::size_t mc,
+            std::size_t kc, float* dst) {
+  for (std::size_t ir = 0; ir < mc; ir += B::kMr) {
+    const std::size_t rows = std::min(B::kMr, mc - ir);
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      for (std::size_t r = 0; r < rows; ++r) *dst++ = a[(ir + r) * rs + kk * cs];
+      for (std::size_t r = rows; r < B::kMr; ++r) *dst++ = 0.0f;
+    }
+  }
+}
+
+/// Pack a kc x nc block of B (element (kk, j) at b[kk*rs + j*cs]) into
+/// kNr-column panels, kk-major, zero-padded on the right.
+void pack_b(const float* b, std::size_t rs, std::size_t cs, std::size_t kc,
+            std::size_t nc, float* dst) {
+  for (std::size_t jr = 0; jr < nc; jr += B::kNr) {
+    const std::size_t cols = std::min(B::kNr, nc - jr);
+    if (cols == B::kNr && cs == 1) {
+      for (std::size_t kk = 0; kk < kc; ++kk) {
+        std::memcpy(dst, b + kk * rs + jr, B::kNr * sizeof(float));
+        dst += B::kNr;
+      }
+      continue;
+    }
+    for (std::size_t kk = 0; kk < kc; ++kk) {
+      for (std::size_t c = 0; c < cols; ++c) *dst++ = b[kk * rs + (jr + c) * cs];
+      for (std::size_t c = cols; c < B::kNr; ++c) *dst++ = 0.0f;
+    }
+  }
+}
+
+/// kMr x kNr register-blocked FMA kernel over packed panels. `ap` walks one
+/// A panel (kMr floats per k step), `bp` one B panel (kNr floats per k
+/// step); `acc` stays in registers across the whole kc sweep.
+void micro_kernel(const float* ap, const float* bp, std::size_t kc,
+                  float acc[B::kMr * B::kNr]) {
+  for (std::size_t kk = 0; kk < kc; ++kk) {
+    const float* brow = bp + kk * B::kNr;
+    const float* arow = ap + kk * B::kMr;
+    for (std::size_t r = 0; r < B::kMr; ++r) {
+      const float av = arow[r];
+      float* crow = acc + r * B::kNr;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+      for (std::size_t c = 0; c < B::kNr; ++c) crow[c] += av * brow[c];
+    }
+  }
+}
+
+/// One (i0, j0) tile of C: sweep k in kKc slabs, packing the A block and B
+/// panel for each slab into this thread's scratch arena, then run the
+/// micro-kernel grid. Accumulation order is a pure function of the shape —
+/// tiles never share C elements and the k sweep is sequential — so outputs
+/// are bitwise identical at every thread count.
+void compute_tile(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b,
+                  std::size_t b_rs, std::size_t b_cs, float* c, std::size_t k,
+                  std::size_t n, bool accumulate, std::size_t i0, std::size_t mc,
+                  std::size_t j0, std::size_t nc) {
+  const std::size_t a_panels = ceil_div(mc, B::kMr);
+  const std::size_t b_panels = ceil_div(nc, B::kNr);
+  ScratchBuffer apack(a_panels * B::kMr * B::kKc);
+  ScratchBuffer bpack(b_panels * B::kNr * B::kKc);
+
+  for (std::size_t p0 = 0; p0 < k; p0 += B::kKc) {
+    const std::size_t kc = std::min(B::kKc, k - p0);
+    const bool first = p0 == 0 && !accumulate;
+    pack_a(a + i0 * a_rs + p0 * a_cs, a_rs, a_cs, mc, kc, apack.data());
+    pack_b(b + p0 * b_rs + j0 * b_cs, b_rs, b_cs, kc, nc, bpack.data());
+
+    for (std::size_t jr = 0; jr < nc; jr += B::kNr) {
+      const std::size_t cols = std::min(B::kNr, nc - jr);
+      const float* bp = bpack.data() + (jr / B::kNr) * B::kNr * kc;
+      for (std::size_t ir = 0; ir < mc; ir += B::kMr) {
+        const std::size_t rows = std::min(B::kMr, mc - ir);
+        const float* ap = apack.data() + (ir / B::kMr) * B::kMr * kc;
+        float acc[B::kMr * B::kNr] = {};
+        micro_kernel(ap, bp, kc, acc);
+        for (std::size_t r = 0; r < rows; ++r) {
+          float* crow = c + (i0 + ir + r) * n + j0 + jr;
+          const float* arow = acc + r * B::kNr;
+          if (first) {
+            for (std::size_t cc = 0; cc < cols; ++cc) crow[cc] = arow[cc];
+          } else {
+            for (std::size_t cc = 0; cc < cols; ++cc) crow[cc] += arow[cc];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Shared driver for all three transposition variants: the logical operands
+/// A[m,k] and B[k,n] are described by (row, col) element strides, so the
+/// packers absorb the layout difference and the tile kernel is identical.
+void gemm_driver(const float* a, std::size_t a_rs, std::size_t a_cs, const float* b,
+                 std::size_t b_rs, std::size_t b_cs, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+    return;
+  }
+  const std::size_t mt = ceil_div(m, B::kMc);
+  const std::size_t nt = ceil_div(n, B::kNc);
+  const std::size_t tiles = mt * nt;
+  // Per-tile cost in element-ops; the work-based grain (not the tile count)
+  // decides whether the 2D tile grid forks. Must stay in sync with
+  // gemm_plan() below, which exposes this decision to tests.
+  const std::size_t tile_work =
+      2 * std::min(B::kMc, m) * std::min(B::kNc, n) * k;
+  parallel_for(tiles, tile_work, [&](std::size_t t) {
+    const std::size_t i0 = (t / nt) * B::kMc;
+    const std::size_t j0 = (t % nt) * B::kNc;
+    compute_tile(a, a_rs, a_cs, b, b_rs, b_cs, c, k, n, accumulate, i0,
+                 std::min(B::kMc, m - i0), j0, std::min(B::kNc, n - j0));
+  });
+}
+
+}  // namespace
+
+GemmStats gemm_plan(std::size_t m, std::size_t k, std::size_t n) {
+  GemmStats s;
+  if (m == 0 || n == 0 || k == 0) return s;
+  s.tiles = ceil_div(m, B::kMc) * ceil_div(n, B::kNc);
+  s.parallel =
+      parallel_worthwhile(s.tiles, 2 * std::min(B::kMc, m) * std::min(B::kNc, n) * k);
+  return s;
+}
+
+void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+          std::size_t n, bool accumulate) {
+  gemm_driver(a, k, 1, b, n, 1, c, m, k, n, accumulate);
+}
+
+void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  // A is stored [k, m]: element (i, kk) lives at a[kk*m + i].
+  gemm_driver(a, 1, m, b, n, 1, c, m, k, n, accumulate);
+}
+
+void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
+             std::size_t n, bool accumulate) {
+  // B is stored [n, k]: element (kk, j) lives at b[j*k + kk].
+  gemm_driver(a, k, 1, b, 1, k, c, m, k, n, accumulate);
+}
+
+}  // namespace ebct::tensor

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Tuning knobs and diagnostics for the blocked GEMM engine (gemm.cpp). The
+/// public entry points (gemm / gemm_at / gemm_bt) live in ops.hpp; this
+/// header exposes the blocking geometry and the scheduling plan so tests
+/// and the perf-smoke harness can assert the engine's decisions — most
+/// importantly that conv-shaped problems (small m, large n) take the
+/// parallel 2D-tiled path instead of silently running serial.
+
+#include <cstddef>
+
+namespace ebct::tensor {
+
+/// BLIS-style blocking geometry. One (Mc x Nc) tile of C is one parallel
+/// task; inside a task the k dimension is swept in Kc slabs through packed
+/// panels, and a Mr x Nr register-blocked micro-kernel does the flops.
+/// The micro-kernel tile is chosen per SIMD ISA (empirically, on the conv
+/// shapes in bench/perf_smoke): wide-register builds profit from a larger
+/// accumulator tile, while the SSE2 baseline is fastest at 4x16 where the
+/// accumulators stay closest to the 16 xmm registers. Results are bitwise
+/// reproducible across thread counts for a given binary; across builds the
+/// geometry (hence accumulation order) may differ, as with any ISA change.
+struct GemmBlocking {
+#if defined(__AVX2__)
+  static constexpr std::size_t kMr = 6;    ///< micro-kernel rows (accumulator rows)
+  static constexpr std::size_t kNr = 32;   ///< micro-kernel cols (SIMD stripes)
+#else
+  static constexpr std::size_t kMr = 4;    ///< micro-kernel rows (accumulator rows)
+  static constexpr std::size_t kNr = 16;   ///< micro-kernel cols (SIMD stripes)
+#endif
+  static constexpr std::size_t kMc = 96;   ///< C-tile rows; multiple of kMr
+  static constexpr std::size_t kNc = 160;  ///< C-tile cols; multiple of kNr
+  static constexpr std::size_t kKc = 256;  ///< packed-panel depth (L1/L2 resident)
+};
+static_assert(GemmBlocking::kMc % GemmBlocking::kMr == 0);
+static_assert(GemmBlocking::kNc % GemmBlocking::kNr == 0);
+
+/// Scheduling decision the engine makes for a given problem shape.
+struct GemmStats {
+  std::size_t tiles = 0;      ///< tasks in the 2D (m/Mc) x (n/Nc) decomposition
+  bool parallel = false;      ///< whether the tile loop takes the OpenMP path
+};
+
+/// Number of parallel tasks the engine creates for an (m, k, n) problem,
+/// and whether the work-based grain admits them to the OpenMP path. Pure
+/// function of the shape (it IS the driver's decision, not a mirror of it)
+/// — used by the perf-smoke CTest target to catch serial-fallback
+/// regressions without timing anything.
+GemmStats gemm_plan(std::size_t m, std::size_t k, std::size_t n);
+
+}  // namespace ebct::tensor

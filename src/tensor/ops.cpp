@@ -9,60 +9,9 @@
 
 namespace ebct::tensor {
 
-namespace {
-// Register-blocking tile for the k loop; keeps the inner loop vectorisable.
-constexpr std::size_t kKTile = 256;
-}  // namespace
-
-void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-          std::size_t n, bool accumulate) {
-  parallel_for(m, [&](std::size_t i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
-    for (std::size_t k0 = 0; k0 < k; k0 += kKTile) {
-      const std::size_t k1 = std::min(k, k0 + kKTile);
-      for (std::size_t kk = k0; kk < k1; ++kk) {
-        const float av = a[i * k + kk];
-        if (av == 0.0f) continue;
-        const float* brow = b + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
-}
-
-void gemm_at(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-             std::size_t n, bool accumulate) {
-  // A is [k, m]; we compute C[i,j] = sum_kk A[kk,i] * B[kk,j].
-  parallel_for(m, [&](std::size_t i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::memset(crow, 0, n * sizeof(float));
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = a[kk * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  });
-}
-
-void gemm_bt(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
-             std::size_t n, bool accumulate) {
-  // B is [n, k]; C[i,j] = dot(A.row(i), B.row(j)).
-  parallel_for(m, [&](std::size_t i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      if (accumulate)
-        crow[j] += acc;
-      else
-        crow[j] = acc;
-    }
-  });
-}
+// The gemm / gemm_at / gemm_bt entry points live in gemm.cpp (the blocked,
+// packed, 2D-parallel engine); this file keeps the elementwise kernels,
+// reductions and the im2col/col2im pair.
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   const std::size_t n = x.size();
@@ -115,6 +64,19 @@ void im2col(const float* img, std::size_t channels, std::size_t height,
     for (std::size_t ki = 0; ki < kh; ++ki) {
       for (std::size_t kj = 0; kj < kw; ++kj) {
         float* dst = cols + ((c * kh + ki) * kw + kj) * col_stride;
+        // Stride-1 rows are a contiguous window of the source row: the valid
+        // ox span [lo, hi) maps to src[ox + kj - pad_w], so the inner loop
+        // collapses to zero-fill edges plus one memcpy.
+        const std::ptrdiff_t shift =
+            static_cast<std::ptrdiff_t>(kj) - static_cast<std::ptrdiff_t>(pad_w);
+        // Both span ends clamp to [0, out_w]: a kernel tap can sit entirely
+        // in the padding (kernel wider than width + pad), leaving no valid
+        // span at all.
+        const std::size_t lo = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+            -shift, 0, static_cast<std::ptrdiff_t>(out_w)));
+        const std::size_t hi = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+            static_cast<std::ptrdiff_t>(width) - shift,
+            static_cast<std::ptrdiff_t>(lo), static_cast<std::ptrdiff_t>(out_w)));
         for (std::size_t oy = 0; oy < out_h; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * stride + ki) - static_cast<std::ptrdiff_t>(pad);
@@ -123,14 +85,22 @@ void im2col(const float* img, std::size_t channels, std::size_t height,
             continue;
           }
           const float* src = img + (c * height + static_cast<std::size_t>(iy)) * width;
+          float* drow = dst + oy * out_w;
+          if (stride == 1) {
+            if (lo > 0) std::memset(drow, 0, lo * sizeof(float));
+            if (hi > lo)
+              std::memcpy(drow + lo, src + static_cast<std::ptrdiff_t>(lo) + shift,
+                          (hi - lo) * sizeof(float));
+            if (hi < out_w) std::memset(drow + hi, 0, (out_w - hi) * sizeof(float));
+            continue;
+          }
           for (std::size_t ox = 0; ox < out_w; ++ox) {
             const std::ptrdiff_t ix =
                 static_cast<std::ptrdiff_t>(ox * stride + kj) -
                 static_cast<std::ptrdiff_t>(pad_w);
-            dst[oy * out_w + ox] =
-                (ix >= 0 && ix < static_cast<std::ptrdiff_t>(width))
-                    ? src[static_cast<std::size_t>(ix)]
-                    : 0.0f;
+            drow[ox] = (ix >= 0 && ix < static_cast<std::ptrdiff_t>(width))
+                           ? src[static_cast<std::size_t>(ix)]
+                           : 0.0f;
           }
         }
       }
@@ -150,11 +120,31 @@ void col2im(const float* cols, std::size_t channels, std::size_t height,
     for (std::size_t ki = 0; ki < kh; ++ki) {
       for (std::size_t kj = 0; kj < kw; ++kj) {
         const float* src = cols + ((c * kh + ki) * kw + kj) * col_stride;
+        // Mirror of the im2col fast path: at stride 1 the valid ox span is
+        // contiguous, so the scatter-add becomes one branch-free vector add.
+        const std::ptrdiff_t shift =
+            static_cast<std::ptrdiff_t>(kj) - static_cast<std::ptrdiff_t>(pad_w);
+        const std::size_t lo = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+            -shift, 0, static_cast<std::ptrdiff_t>(out_w)));
+        const std::size_t hi = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+            static_cast<std::ptrdiff_t>(width) - shift,
+            static_cast<std::ptrdiff_t>(lo), static_cast<std::ptrdiff_t>(out_w)));
         for (std::size_t oy = 0; oy < out_h; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * stride + ki) - static_cast<std::ptrdiff_t>(pad);
           if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) continue;
           float* dstrow = img + (c * height + static_cast<std::size_t>(iy)) * width;
+          if (stride == 1) {
+            const std::size_t len = hi - lo;
+            if (len == 0) continue;
+            float* d = dstrow + static_cast<std::ptrdiff_t>(lo) + shift;
+            const float* s = src + oy * out_w + lo;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+            for (std::size_t ox = 0; ox < len; ++ox) d[ox] += s[ox];
+            continue;
+          }
           for (std::size_t ox = 0; ox < out_w; ++ox) {
             const std::ptrdiff_t ix =
                 static_cast<std::ptrdiff_t>(ox * stride + kj) -

@@ -9,8 +9,10 @@
 
 namespace ebct::tensor {
 
-/// C[m,n] = A[m,k] * B[k,n] (+ C if accumulate). Row-major, blocked, parallel
-/// over rows of C.
+/// C[m,n] = A[m,k] * B[k,n] (+ C if accumulate). Row-major. Implemented by
+/// the cache-blocked, packed-panel engine in gemm.cpp: 2D-parallel over
+/// Mc x Nc tiles of C with a register-blocked micro-kernel, bitwise
+/// deterministic at every thread count (see gemm.hpp for the geometry).
 void gemm(const float* a, const float* b, float* c, std::size_t m, std::size_t k,
           std::size_t n, bool accumulate = false);
 

@@ -25,11 +25,49 @@ inline int hardware_threads() {
 /// Minimum iteration count below which parallel_for runs serially.
 inline constexpr std::size_t kParallelGrain = 4096;
 
-/// Run `fn(i)` for i in [0, n). Parallelises across OpenMP threads when the
-/// trip count justifies it. `fn` must be safe to call concurrently for
-/// distinct indices.
+/// Minimum *total work* (in rough element-op units) below which a loop is
+/// not worth forking for. Gating on trip count alone starved loops with few
+/// but heavy iterations: a conv-layer GEMM with m = 64 output channels never
+/// crossed the 4096-row grain even though each row cost ~million flops.
+inline constexpr std::size_t kParallelWorkGrain = 64 * 1024;
+
+/// True when a loop of `n` iterations, each costing roughly `work_per_iter`
+/// element-ops, justifies an OpenMP fork/join. This is the grain policy
+/// shared by parallel_for and the GEMM tile scheduler (exposed so callers
+/// like the perf-smoke harness can assert a shape *would* parallelise).
+inline bool parallel_worthwhile(std::size_t n, std::size_t work_per_iter) {
+  if (n < 2) return false;
+  if (work_per_iter == 0) work_per_iter = 1;
+  if (n >= kParallelWorkGrain) return true;  // avoid overflow in the product
+  return n * work_per_iter >= kParallelWorkGrain;
+}
+
+/// Run `fn(i)` for i in [0, n), forking when the total work — trip count x
+/// `work_per_iter` element-ops — crosses kParallelWorkGrain. `fn` must be
+/// safe to call concurrently for distinct indices.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t work_per_iter, Fn&& fn) {
+  if (!parallel_worthwhile(n, work_per_iter)) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Run `fn(i)` for i in [0, n) assuming unit-cost iterations (elementwise
+/// kernels). Kept as the common entry point; heavy-bodied loops should pass
+/// their per-iteration cost to the overload above.
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn) {
+  // Preserve the historical trip-count grain for unit-cost loops: 4096
+  // elementwise iterations is where fork/join starts paying off.
   if (n < kParallelGrain) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -67,30 +105,6 @@ void parallel_for_tasks(std::size_t n, unsigned num_threads, Fn&& fn) {
 #endif
   (void)num_threads;
   for (std::size_t i = 0; i < n; ++i) fn(i);
-}
-
-/// Run `fn(begin, end, chunk_index)` over disjoint chunks of [0, n) — one
-/// chunk per thread. The chunk index is deterministic (derived from the
-/// range, not from scheduling order), so per-chunk accumulators can be
-/// reduced in a reproducible order.
-template <typename Fn>
-void parallel_chunks(std::size_t n, Fn&& fn) {
-  if (n == 0) return;
-#ifdef _OPENMP
-  if (n >= kParallelGrain || hardware_threads() > 1) {
-#pragma omp parallel
-    {
-      const std::size_t nthreads = static_cast<std::size_t>(omp_get_num_threads());
-      const std::size_t tid = static_cast<std::size_t>(omp_get_thread_num());
-      const std::size_t chunk = (n + nthreads - 1) / nthreads;
-      const std::size_t begin = tid * chunk;
-      const std::size_t end = begin + chunk < n ? begin + chunk : n;
-      if (begin < end) fn(begin, end, tid);
-    }
-    return;
-  }
-#endif
-  fn(static_cast<std::size_t>(0), n, static_cast<std::size_t>(0));
 }
 
 /// Sum-reduce `fn(i)` over [0, n) in parallel.

@@ -196,6 +196,20 @@ TEST(Conv2dLayer, BackwardWithoutStoreThrows) {
   EXPECT_THROW(conv.backward(g), std::logic_error);
 }
 
+TEST(Conv2dLayer, ZeroBatchForwardBackward) {
+  // Degenerate batch 0 must flow through both passes without dividing by a
+  // zero part count (regression: the fixed-fanout grad reduction).
+  Rng rng(67);
+  Conv2d conv("c", Conv2dSpec{2, 3, 3, 1, 1}, rng);
+  RawStore store;
+  conv.set_store(&store);
+  Tensor x(Shape::nchw(0, 2, 4, 4));
+  Tensor y = conv.forward(x, true);
+  EXPECT_EQ(y.shape().n(), 0u);
+  Tensor gi = conv.backward(Tensor(y.shape(), 0.0f));
+  EXPECT_EQ(gi.numel(), 0u);
+}
+
 TEST(Conv2dLayer, ChannelMismatchThrows) {
   Rng rng(66);
   Conv2d conv("c", Conv2dSpec{3, 4, 3, 1, 1}, rng);

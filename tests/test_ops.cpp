@@ -124,6 +124,53 @@ TEST(Im2col, PaddingProducesZeros) {
   EXPECT_FLOAT_EQ(cols[0], 0.0f);
 }
 
+TEST(Im2col, WideKernelOnNarrowImageMatchesReference) {
+  // Kernel wider than width + pad leaves some taps entirely in the padding
+  // (regression: the stride-1 fast path must clamp its copy span to out_w
+  // instead of writing past the exactly-sized column buffer).
+  Rng rng(16);
+  const std::size_t C = 1, H = 4, W = 2, KH = 1, KW = 7, S = 1, P = 0, PW = 3;
+  const std::size_t oh = conv_out_dim(H, KH, S, P), ow = conv_out_dim(W, KW, S, PW);
+  ASSERT_GT(ow, 0u);
+  std::vector<float> img(C * H * W);
+  rng.fill_uniform({img.data(), img.size()}, -1, 1);
+  // Sentinel tail after the logical buffer: the original overflow wrote
+  // zeros past the end, which value checks alone cannot see.
+  const std::size_t cols_size = C * KH * KW * oh * ow;
+  std::vector<float> cols(cols_size + 16, -7.0f);
+  im2col(img.data(), C, H, W, KH, KW, S, P, cols.data(), PW);
+  for (std::size_t i = cols_size; i < cols.size(); ++i)
+    ASSERT_FLOAT_EQ(cols[i], -7.0f) << "overflow at +" << (i - cols_size);
+  // Bounds-checked per-element reference.
+  for (std::size_t kj = 0; kj < KW; ++kj)
+    for (std::size_t oy = 0; oy < oh; ++oy)
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox + kj) -
+                                  static_cast<std::ptrdiff_t>(PW);
+        const float want = (ix >= 0 && ix < static_cast<std::ptrdiff_t>(W))
+                               ? img[oy * W + static_cast<std::size_t>(ix)]
+                               : 0.0f;
+        EXPECT_FLOAT_EQ(cols[(kj * oh + oy) * ow + ox], want) << kj << "," << oy << "," << ox;
+      }
+}
+
+TEST(Im2colCol2im, WideKernelAdjointIdentity) {
+  // Same degenerate geometry through the col2im scatter fast path.
+  Rng rng(17);
+  const std::size_t C = 2, H = 3, W = 2, KH = 3, KW = 7, S = 1, P = 1, PW = 3;
+  const std::size_t oh = conv_out_dim(H, KH, S, P), ow = conv_out_dim(W, KW, S, PW);
+  const std::size_t cols_size = C * KH * KW * oh * ow;
+  std::vector<float> x(C * H * W), y(cols_size), cx(cols_size), iy(C * H * W);
+  rng.fill_uniform({x.data(), x.size()}, -1, 1);
+  rng.fill_uniform({y.data(), y.size()}, -1, 1);
+  im2col(x.data(), C, H, W, KH, KW, S, P, cx.data(), PW);
+  col2im(y.data(), C, H, W, KH, KW, S, P, iy.data(), PW);
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols_size; ++i) lhs += double(cx[i]) * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += double(x[i]) * iy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
 TEST(Im2colCol2im, AdjointIdentity) {
   // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
   // property that makes conv backward correct.

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -57,6 +58,30 @@ TEST(BitStream, ManyRandomBitsRoundtrip) {
   for (auto [v, n] : items) EXPECT_EQ(r.get(n), v);
 }
 
+TEST(BitStream, PeekDoesNotConsume) {
+  BitWriter w;
+  w.put(0b1011001110001111ULL, 16);
+  const auto bytes = w.finish();
+  BitReader r({bytes.data(), bytes.size()});
+  EXPECT_EQ(r.peek(5), 0b10110u);
+  EXPECT_EQ(r.peek(5), 0b10110u);  // unchanged: peek is non-destructive
+  r.skip(3);
+  EXPECT_EQ(r.peek(5), 0b10011u);
+  EXPECT_EQ(r.get(13), 0b1001110001111u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, PeekPastEndPadsWithZeros) {
+  BitWriter w;
+  w.put(0xff, 8);
+  const auto bytes = w.finish();
+  BitReader r({bytes.data(), bytes.size()});
+  EXPECT_EQ(r.peek(32), 0xff000000u);
+  r.skip(8);
+  EXPECT_TRUE(r.exhausted());  // padding bits are not remaining input
+  EXPECT_EQ(r.get(16), 0u);
+}
+
 TEST(BitStream, EmptyWriterFinishesEmpty) {
   BitWriter w;
   EXPECT_EQ(w.bit_count(), 0u);
@@ -84,6 +109,53 @@ TEST(BitStream, FullWordBoundary) {
   EXPECT_EQ(r.get(64), ~0ULL);
   EXPECT_EQ(r.get(64), 0x5555555555555555ULL);
   EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Huffman, RoundtripCodesLongerThanLut) {
+  // Exponentially skewed frequencies force code lengths well past the
+  // decoder's kLutBits table width, exercising the canonical-scan slow path
+  // and the LUT/slow-path boundary in one stream.
+  const std::size_t alphabet = 24;
+  std::vector<std::uint64_t> freqs(alphabet);
+  for (std::size_t s = 0; s < alphabet; ++s) freqs[s] = 1ULL << s;
+  HuffmanCodec codec;
+  codec.build({freqs.data(), freqs.size()});
+  unsigned max_len = 0;
+  for (std::uint32_t s = 0; s < alphabet; ++s)
+    max_len = std::max(max_len, codec.code_length(s));
+  ASSERT_GT(max_len, HuffmanCodec::kLutBits);  // the premise of this test
+
+  tensor::Rng rng(77);
+  std::vector<std::uint32_t> symbols(4096);
+  for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.uniform_index(alphabet));
+  const auto bytes = codec.encode({symbols.data(), symbols.size()});
+  const auto decoded = codec.decode({bytes.data(), bytes.size()}, symbols.size());
+  ASSERT_EQ(decoded.size(), symbols.size());
+  EXPECT_EQ(decoded, symbols);
+}
+
+TEST(Huffman, DeserializeRejectsOversizedCodeLengths) {
+  // A hostile table claiming a code longer than kMaxCodeLen would misalign
+  // the decoder's 32-bit peek window; it must be rejected up front.
+  BitWriter w;
+  w.put_varint(2);   // alphabet
+  w.put_varint(40);  // bogus length > 32
+  w.put_varint(2);   // run
+  const auto bytes = w.finish();
+  HuffmanCodec codec;
+  EXPECT_THROW(codec.deserialize_table({bytes.data(), bytes.size()}), std::runtime_error);
+}
+
+TEST(Huffman, DeserializeRejectsKraftViolatingTable) {
+  // Four symbols all claiming 1-bit codes is not a prefix code; without the
+  // Kraft check the canonical assignment would write past the decode LUT.
+  BitWriter w;
+  w.put_varint(4);  // alphabet
+  w.put_varint(1);  // length 1 ...
+  w.put_varint(4);  // ... for all four symbols
+  const auto bytes = w.finish();
+  HuffmanCodec codec;
+  EXPECT_THROW(codec.deserialize_table({bytes.data(), bytes.size()}), std::runtime_error);
 }
 
 TEST(Huffman, RoundtripRandomSymbols) {
