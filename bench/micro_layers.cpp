@@ -33,6 +33,29 @@ void BM_ConvForward(benchmark::State& state) {
 // relative to their compute cost.
 BENCHMARK(BM_ConvForward)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
+// Small-batch conv forward+backward (batch 1 / 2 / 4): with batch-level
+// parallelism alone these leave most cores idle — the unified work-stealing
+// pool must fan each sample's GEMM tile grid out across the otherwise-idle
+// threads. Watch this case when touching the scheduler: it is the shape
+// class the batch x tile interleaving was built for.
+void BM_ConvSmallBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  tensor::Rng rng(5050);
+  nn::Conv2d conv("c", nn::Conv2dSpec{64, 64, 3, 1, 1}, rng);
+  nn::RawStore store;
+  conv.set_store(&store);
+  tensor::Tensor x(tensor::Shape::nchw(batch, 64, 56, 56));
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  for (auto _ : state) {
+    auto y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+    conv.backward(tensor::Tensor(y.shape(), 0.1f));
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(batch) * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConvSmallBatch)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_BatchNorm(benchmark::State& state) {
   nn::BatchNorm bn("bn", 64);
   tensor::Rng rng(5100);

@@ -3,14 +3,22 @@
 // (shared runners are too noisy for that). It asserts:
 //   1. conv-shaped GEMMs (small m, large n) plan a parallel 2D tile grid —
 //      the serial-fallback bug class this engine was built to kill;
-//   2. GEMM outputs are bitwise identical across thread counts;
-//   3. a conv forward+backward pair is bitwise identical across thread
-//      counts (fixed-fanout gradient reduction).
+//   2. GEMM outputs are bitwise identical across scheduler pool sizes;
+//   3. a conv forward+backward pair is bitwise identical across pool sizes
+//      (fixed-fanout gradient reduction riding the work-stealing pool).
 // It also times the reduced shapes and emits BENCH_perf_smoke.json for
-// trend tracking. Exit code 0 = pass.
+// trend tracking. Dedicated perf runners can opt into a wall-clock gate:
+// point EBCT_PERF_BASELINE at a previous BENCH_perf_smoke.json and any
+// timed row slower than EBCT_PERF_MAX_SLOWDOWN x its baseline (default
+// 1.25) fails the run. Shared CI leaves the env unset. Exit code 0 = pass.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -19,10 +27,7 @@
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "tensor/sched.hpp"
 
 namespace {
 
@@ -37,13 +42,7 @@ void check(bool ok, const char* what) {
   }
 }
 
-void set_threads(int t) {
-#ifdef _OPENMP
-  omp_set_num_threads(t);
-#else
-  (void)t;
-#endif
-}
+void set_threads(int t) { tensor::sched::set_num_threads(t); }
 
 /// Conv layer geometry from the Inception zoo: m = out_channels is far below
 /// the old 4096-row parallel grain, so the seed GEMM ran serial here.
@@ -110,7 +109,10 @@ void check_conv_determinism() {
   }
 }
 
-void time_reduced_shapes(bench::JsonReporter& report, int machine_threads) {
+using TimingRows = std::vector<std::pair<std::string, double>>;
+
+void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
+                         int machine_threads) {
   set_threads(machine_threads);
   for (const auto& s : kConvShapes) {
     tensor::Rng rng(9);
@@ -124,8 +126,12 @@ void time_reduced_shapes(bench::JsonReporter& report, int machine_threads) {
     std::snprintf(name, sizeof(name), "gemm_m%zu_k%zu_n%zu", s.m, s.k, s.n);
     std::printf("%-24s %8.3f ms  %7.2f GFLOP/s\n", name, sec * 1e3, gflops);
     report.add(name, {{"seconds", sec}, {"gflops", gflops}});
+    timings.emplace_back(name, sec);
   }
 
+  // Small-batch conv forward+backward: the shape class the unified
+  // batch x tile pool exists for (batch 4 alone cannot fill a big machine;
+  // tile stealing has to).
   tensor::Rng rng(11);
   nn::Conv2d conv("c", nn::Conv2dSpec{32, 64, 3, 1, 1}, rng);
   nn::RawStore store;
@@ -138,18 +144,68 @@ void time_reduced_shapes(bench::JsonReporter& report, int machine_threads) {
   });
   std::printf("%-24s %8.3f ms\n", "conv_fwd_bwd", sec * 1e3);
   report.add("conv_fwd_bwd", {{"seconds", sec}});
+  timings.emplace_back("conv_fwd_bwd", sec);
+}
+
+/// Rows of a previous BENCH_perf_smoke.json: name -> seconds. The format is
+/// our own JsonReporter's (one row object per line), so a line scan is a
+/// complete parser for it.
+std::map<std::string, double> read_baseline(const char* path) {
+  std::map<std::string, double> rows;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto npos = line.find("\"name\": \"");
+    if (npos == std::string::npos) continue;
+    const auto nend = line.find('"', npos + 9);
+    if (nend == std::string::npos) continue;
+    const auto spos = line.find("\"seconds\": ");
+    if (spos == std::string::npos) continue;
+    rows[line.substr(npos + 9, nend - npos - 9)] =
+        std::strtod(line.c_str() + spos + 11, nullptr);
+  }
+  return rows;
+}
+
+/// Opt-in wall-clock regression gate for dedicated (quiet) perf runners;
+/// see the file header. Rows present in the baseline but not in this run
+/// (or vice versa) are ignored so shape-set changes don't hard-fail.
+void check_wallclock_gate(const TimingRows& timings) {
+  const char* base_path = std::getenv("EBCT_PERF_BASELINE");
+  if (base_path == nullptr || base_path[0] == '\0') return;
+  double max_slowdown = 1.25;
+  if (const char* s = std::getenv("EBCT_PERF_MAX_SLOWDOWN")) {
+    const double v = std::strtod(s, nullptr);
+    if (v > 0.0) max_slowdown = v;
+  }
+  const auto baseline = read_baseline(base_path);
+  check(!baseline.empty(), "EBCT_PERF_BASELINE readable and non-empty");
+  for (const auto& [name, sec] : timings) {
+    const auto it = baseline.find(name);
+    if (it == baseline.end() || it->second <= 0.0) continue;
+    const double ratio = sec / it->second;
+    std::printf("gate %-24s %6.3fx of baseline (limit %.2fx)\n", name.c_str(), ratio,
+                max_slowdown);
+    if (ratio > max_slowdown) {
+      std::fprintf(stderr, "perf_smoke FAIL: %s regressed %.3fx over baseline (limit %.2fx)\n",
+                   name.c_str(), ratio, max_slowdown);
+      ++g_failures;
+    }
+  }
 }
 
 }  // namespace
 
 int main() {
-  // Captured before the determinism checks clamp the OpenMP thread count.
+  // Captured before the determinism checks resize the scheduler pool.
   const int machine_threads = tensor::hardware_threads();
   bench::JsonReporter report("perf_smoke");
+  TimingRows timings;
   check_parallel_plan();
   check_gemm_determinism();
   check_conv_determinism();
-  time_reduced_shapes(report, machine_threads);
+  time_reduced_shapes(report, timings, machine_threads);
+  check_wallclock_gate(timings);
   if (g_failures == 0) std::printf("perf_smoke: all structural checks passed\n");
   return g_failures == 0 ? 0 : 1;
 }

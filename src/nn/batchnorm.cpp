@@ -35,10 +35,12 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
   const double count = static_cast<double>(n * hw);
 
   Tensor out(in_shape_);
-  x_hat_ = Tensor(in_shape_);
+  float* x_hat = x_hat_.acquire(in_shape_.numel());
   inv_std_.assign(channels_, 0.0f);
 
-  tensor::parallel_for(channels_, [&](std::size_t c) {
+  // Channels are few (well under the elementwise grain) but each sweeps the
+  // whole batch — pass the per-channel cost so the loop actually forks.
+  tensor::parallel_for(channels_, 4 * n * hw, [&](std::size_t c) {
     double mean, var;
     if (train) {
       double sum = 0.0, sq = 0.0;
@@ -63,7 +65,7 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
     const float g = gamma_.value[c], b = beta_.value[c];
     for (std::size_t s = 0; s < n; ++s) {
       const float* src = input.data() + s * chw + c * hw;
-      float* xh = x_hat_.data() + s * chw + c * hw;
+      float* xh = x_hat + s * chw + c * hw;
       float* dst = out.data() + s * chw + c * hw;
       for (std::size_t i = 0; i < hw; ++i) {
         const float xhat = static_cast<float>((src[i] - mean) * istd);
@@ -76,17 +78,19 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
 }
 
 Tensor BatchNorm::backward(const Tensor& grad_output) {
+  if (!x_hat_.held()) throw std::logic_error(name_ + ": backward without forward");
   const std::size_t n = in_shape_.n(), hw = in_shape_.h() * in_shape_.w();
   const std::size_t chw = channels_ * hw;
   const double count = static_cast<double>(n * hw);
+  const float* x_hat = x_hat_.data();
 
   Tensor grad_input(in_shape_);
-  tensor::parallel_for(channels_, [&](std::size_t c) {
+  tensor::parallel_for(channels_, 6 * n * hw, [&](std::size_t c) {
     // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of dL/dx.
     double dg = 0.0, db = 0.0;
     for (std::size_t s = 0; s < n; ++s) {
       const float* go = grad_output.data() + s * chw + c * hw;
-      const float* xh = x_hat_.data() + s * chw + c * hw;
+      const float* xh = x_hat + s * chw + c * hw;
       for (std::size_t i = 0; i < hw; ++i) {
         dg += static_cast<double>(go[i]) * xh[i];
         db += go[i];
@@ -100,14 +104,14 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
     const double k = g * istd / count;
     for (std::size_t s = 0; s < n; ++s) {
       const float* go = grad_output.data() + s * chw + c * hw;
-      const float* xh = x_hat_.data() + s * chw + c * hw;
+      const float* xh = x_hat + s * chw + c * hw;
       float* gi = grad_input.data() + s * chw + c * hw;
       for (std::size_t i = 0; i < hw; ++i) {
         gi[i] = static_cast<float>(k * (count * go[i] - db - xh[i] * dg));
       }
     }
   });
-  x_hat_ = Tensor();
+  x_hat_.release();
   return grad_input;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "tensor/alloc.hpp"
 
 namespace ebct::nn {
 
@@ -31,8 +32,13 @@ class BatchNorm : public Layer {
   Param beta_;
   std::vector<float> running_mean_;
   std::vector<float> running_var_;
-  // Saved forward state for backward.
-  tensor::Tensor x_hat_;
+  // Saved forward state for backward. x_hat lives in the thread-local
+  // scratch arena, not a tracked Tensor: it is pure workspace between a
+  // forward and its backward, so routing it through the arena keeps
+  // steady-state training malloc-free without distorting the activation-
+  // memory accounting. Requires forward/backward to run on one thread (the
+  // training loop), as ScratchHold documents.
+  tensor::ScratchHold x_hat_;
   std::vector<float> inv_std_;
   tensor::Shape in_shape_;
 };

@@ -60,9 +60,11 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
   Tensor out(out_shape);
   // Parallel across the batch; samples are independent so any schedule gives
   // identical bytes. The im2col buffer comes from the thread-local scratch
-  // arena — reused across samples and iterations, never reallocated. With a
-  // single sample the task loop stays serial and the GEMM engine's own 2D
-  // tile parallelism takes over instead.
+  // arena — reused across samples and iterations, never reallocated. Batch
+  // tasks and each sample's GEMM C-tile tasks share the work-stealing pool:
+  // at small batch (or the tail of a skewed one) idle threads steal tile
+  // tasks from in-flight samples instead of going idle, so every core stays
+  // busy at batch 1 and batch 64 alike.
   tensor::parallel_for_tasks(n, 0, [&](std::size_t s) {
     tensor::ScratchBuffer cols(k * ohow);
     tensor::im2col(input.data() + s * in_img, spec_.in_channels, input.shape().h(),
@@ -108,28 +110,37 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   // a function of the batch size alone — never of the thread count — for
   // byte-identical results at any parallelism level: each part accumulates
   // its samples in index order, and parts are folded into the grads in part
-  // order below.
+  // order below. The partial buffers come from the calling thread's scratch
+  // arena (acquired here, filled by the tasks through raw pointers), so
+  // steady-state training allocates no weight-grad workspace.
   const std::size_t parts = std::min<std::size_t>(n, kGradParts);
   const std::size_t per_part = (n + parts - 1) / parts;
-  std::vector<std::vector<float>> wgrad_parts(
-      parts, std::vector<float>(weight_.value.numel(), 0.0f));
-  std::vector<std::vector<float>> bgrad_parts(parts,
-                                              std::vector<float>(spec_.out_channels, 0.0f));
+  const std::size_t wnumel = weight_.value.numel();
+  tensor::ScratchBuffer wgrad_parts(parts * wnumel);
+  tensor::ScratchBuffer bgrad_parts(parts * spec_.out_channels);
+  // Resolve the raw pointers *before* the parallel region: .data() walks
+  // this thread's arena bookkeeping, which this same thread mutates while
+  // helping execute tasks (nested ScratchBuffer acquires) — workers must
+  // not read it concurrently. The blocks themselves never move.
+  float* wparts = wgrad_parts.data();
+  float* bparts = bgrad_parts.data();
+  std::memset(wparts, 0, parts * wnumel * sizeof(float));
+  std::memset(bparts, 0, parts * spec_.out_channels * sizeof(float));
 
   tensor::parallel_for_tasks(parts, 0, [&](std::size_t part) {
     const std::size_t begin = part * per_part;
     const std::size_t end = std::min(n, begin + per_part);
     tensor::ScratchBuffer cols(k * ohow);
     tensor::ScratchBuffer cols_grad(k * ohow);
-    auto& wg = wgrad_parts[part];
-    auto& bg = bgrad_parts[part];
+    float* wg = wparts + part * wnumel;
+    float* bg = bparts + part * spec_.out_channels;
     for (std::size_t s = begin; s < end; ++s) {
       const float* lgrad = grad_output.data() + s * out_img;
       // Weight gradient: dW[oc, k] += L[oc, ohow] * cols^T[ohow, k].
       tensor::im2col(input.data() + s * in_img, spec_.in_channels, input_shape_.h(),
                      input_shape_.w(), spec_.kh(), spec_.kw(), spec_.stride, spec_.ph(),
                      cols.data(), spec_.pw());
-      tensor::gemm_bt(lgrad, cols.data(), wg.data(), spec_.out_channels, ohow, k,
+      tensor::gemm_bt(lgrad, cols.data(), wg, spec_.out_channels, ohow, k,
                       /*accumulate=*/true);
       if (spec_.bias) {
         for (std::size_t oc = 0; oc < spec_.out_channels; ++oc) {
@@ -149,9 +160,10 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   });
 
   for (std::size_t p = 0; p < parts; ++p) {
-    tensor::axpy(1.0f, {wgrad_parts[p].data(), wgrad_parts[p].size()}, weight_.grad.span());
+    tensor::axpy(1.0f, {wparts + p * wnumel, wnumel}, weight_.grad.span());
     if (spec_.bias)
-      tensor::axpy(1.0f, {bgrad_parts[p].data(), bgrad_parts[p].size()}, bias_.grad.span());
+      tensor::axpy(1.0f, {bparts + p * spec_.out_channels, spec_.out_channels},
+                   bias_.grad.span());
   }
   return grad_input;
 }

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -43,10 +44,22 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // dW[out, in] += L^T[out, N] * x[N, in]
   tensor::gemm_at(grad_output.data(), saved_input_.data(), weight_.grad.data(),
                   out_features_, n, in_features_, /*accumulate=*/true);
-  for (std::size_t s = 0; s < n; ++s) {
-    const float* row = grad_output.data() + s * out_features_;
-    for (std::size_t j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
-  }
+  // Bias grad parallelises over column *ranges*: each j owns its
+  // accumulator and sums samples in index order, so the result is
+  // byte-identical to the serial loop at any thread count. Within a range
+  // the walk stays row-major (s outer) so every grad_output cache line is
+  // fetched once, not once per column sharing it.
+  const std::size_t col_grain = std::max<std::size_t>(
+      1, tensor::kParallelWorkGrain / std::max<std::size_t>(n, 1));
+  tensor::sched::parallel_ranges(out_features_, col_grain, 0,
+                                 [&](std::size_t jb, std::size_t je) {
+                                   for (std::size_t s = 0; s < n; ++s) {
+                                     const float* row = grad_output.data() + s * out_features_;
+                                     for (std::size_t j = jb; j < je; ++j) {
+                                       bias_.grad[j] += row[j];
+                                     }
+                                   }
+                                 });
   // dX[N, in] = L[N, out] * W[out, in]
   Tensor grad_input(saved_input_.shape());
   tensor::gemm(grad_output.data(), weight_.value.data(), grad_input.data(), n,

@@ -17,7 +17,10 @@ class BitWriter {
   void put(std::uint64_t value, unsigned nbits) {
     while (nbits > 0) {
       const unsigned take = nbits < (64 - fill_) ? nbits : (64 - fill_);
-      acc_ = (acc_ << take) | ((value >> (nbits - take)) & mask(take));
+      // take == 64 (empty accumulator, full-word put) would make the shift
+      // below UB; acc_ is 0 then, so the word replaces it wholesale.
+      acc_ = take == 64 ? value
+                        : (acc_ << take) | ((value >> (nbits - take)) & mask(take));
       fill_ += take;
       nbits -= take;
       if (fill_ == 64) flush_word();
@@ -99,7 +102,11 @@ class BitReader {
     unsigned shift = 0;
     while (true) {
       const std::uint64_t byte = get(8);
-      v |= (byte & 0x7f) << shift;
+      // A valid 64-bit varint never exceeds 10 groups; a corrupt stream can
+      // keep continuation bits set, so drop groups past bit 63 rather than
+      // shift out of range (an exhausted reader yields 0x00 and terminates
+      // the loop).
+      if (shift < 64) v |= (byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;
     }

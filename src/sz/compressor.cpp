@@ -175,7 +175,11 @@ CompressedBuffer Compressor::compress(std::span<const float> data) const {
 
   // Stage 1 — block-parallel Lorenzo + quantization. Every block predicts
   // from a fresh context (prev_recon = 0), so blocks are fully independent;
-  // each worker writes only its own BlockResult.
+  // each worker writes only its own BlockResult. The per-block tasks go to
+  // the shared work-stealing pool, so a compress launched from inside a
+  // training step (activation stash) interleaves with layer compute instead
+  // of waiting for a free OpenMP team, and skewed blocks (outlier-heavy
+  // ones encode slower) are absorbed by stealing.
   std::vector<BlockResult> blocks(num_blocks);
   if (two_d && n > 0) {
     std::vector<float> recon;
@@ -336,8 +340,10 @@ void Compressor::decompress(const CompressedBuffer& buf, std::span<float> out) c
         {enc_base + m.encoded_off, static_cast<std::size_t>(m.encoded_bytes)},
         static_cast<std::size_t>(m.symbol_count));
     std::vector<float> outliers(m.outlier_count);
-    std::memcpy(outliers.data(), outlier_base + m.outlier_off * sizeof(float),
-                m.outlier_count * sizeof(float));
+    if (m.outlier_count > 0) {
+      std::memcpy(outliers.data(), outlier_base + m.outlier_off * sizeof(float),
+                  m.outlier_count * sizeof(float));
+    }
     float* dst = payload.data() + m.out_off;
     std::size_t oi = 0;
     if (two_d) {

@@ -51,11 +51,14 @@ struct Config {
   std::uint32_t block_size = 65536;  ///< independent prediction blocks (parallelism)
   std::uint32_t plane_width = 0;     ///< required for kLorenzo2D
 
-  /// Worker threads for the block-parallel compress/decompress paths:
-  /// 0 = all hardware threads, 1 = serial, N = at most N threads. The
-  /// compressed bytes are identical for every setting — blocks are laid out
-  /// in index order and the Huffman table is built from deterministically
-  /// merged per-chunk histograms — so this is purely a throughput knob.
+  /// Concurrency cap for the block-parallel compress/decompress paths,
+  /// which run as tasks in the shared work-stealing scheduler (see
+  /// tensor/sched.hpp): 0 = the whole pool, 1 = serial, N = at most N
+  /// pool threads pulling blocks dynamically. The compressed bytes are
+  /// identical for every setting and every pool size — blocks are laid
+  /// out in index order and the Huffman table is built from
+  /// deterministically merged per-chunk histograms — so this is purely a
+  /// throughput knob.
   std::uint32_t num_threads = 0;
 };
 

@@ -128,7 +128,11 @@ void gemm_driver(const float* a, std::size_t a_rs, std::size_t a_cs, const float
   const std::size_t tiles = mt * nt;
   // Per-tile cost in element-ops; the work-based grain (not the tile count)
   // decides whether the 2D tile grid forks. Must stay in sync with
-  // gemm_plan() below, which exposes this decision to tests.
+  // gemm_plan() below, which exposes this decision to tests. Each C-tile
+  // becomes one task in the shared work-stealing pool, so when this GEMM
+  // runs inside a per-sample batch task the tiles are stolen by whichever
+  // threads the batch level left idle — small-batch conv shapes fan out
+  // across the whole machine instead of one tile grid per busy thread.
   const std::size_t tile_work =
       2 * std::min(B::kMc, m) * std::min(B::kNc, n) * k;
   parallel_for(tiles, tile_work, [&](std::size_t t) {

@@ -34,15 +34,14 @@ double mean_abs(std::span<const float> x) {
 }
 
 float max_abs(std::span<const float> x) {
-  float m = 0.0f;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) reduction(max : m)
-#endif
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(x.size()); ++i) {
-    const float v = std::fabs(x[static_cast<std::size_t>(i)]);
-    if (v > m) m = v;
-  }
-  return m;
+  // Max is exact under any merge order, but parallel_reduce's fixed
+  // partition keeps it under the library-wide thread-count-free contract.
+  return parallel_reduce(
+      x.size(), 0.0f,
+      [&x](std::size_t lo, std::size_t hi, float& m) {
+        for (std::size_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(x[i]));
+      },
+      [](float& m, float p) { m = std::max(m, p); });
 }
 
 double nonzero_fraction(std::span<const float> x) {

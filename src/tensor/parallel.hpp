@@ -1,26 +1,30 @@
 #pragma once
 
 /// \file parallel.hpp
-/// Thin OpenMP wrappers so the rest of the library never touches raw pragmas.
-/// Grain-size aware: small loops run serially to avoid fork/join overhead.
+/// Thin shims over the shared work-stealing scheduler (sched.hpp) so the
+/// rest of the library keeps its loop-shaped API. Historically these
+/// wrapped raw OpenMP pragmas, which made batch-level vs GEMM-level
+/// parallelism first-fork-wins (OpenMP nesting off: whichever parallel_for
+/// forked first got every core and inner loops ran serial). All levels now
+/// submit into one task pool and interleave; the grain policies below are
+/// unchanged, they just pick task sizes instead of gating a pragma.
+///
+/// Determinism: chunk partitions and reduction trees are pure functions of
+/// the iteration count — never of the thread count — so every wrapper here
+/// yields byte-identical results at any pool size (parallel_sum is *more*
+/// deterministic than the old OpenMP reduction, which partitioned by thread
+/// count).
 
 #include <cstddef>
-#include <cstdint>
+#include <vector>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "tensor/sched.hpp"
 
 namespace ebct::tensor {
 
-/// Number of worker threads the runtime will use for parallel regions.
-inline int hardware_threads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
+/// Number of worker threads the runtime will use for parallel regions
+/// (the scheduler pool, including the calling thread).
+inline int hardware_threads() { return sched::num_threads(); }
 
 /// Minimum iteration count below which parallel_for runs serially.
 inline constexpr std::size_t kParallelGrain = 4096;
@@ -32,9 +36,9 @@ inline constexpr std::size_t kParallelGrain = 4096;
 inline constexpr std::size_t kParallelWorkGrain = 64 * 1024;
 
 /// True when a loop of `n` iterations, each costing roughly `work_per_iter`
-/// element-ops, justifies an OpenMP fork/join. This is the grain policy
-/// shared by parallel_for and the GEMM tile scheduler (exposed so callers
-/// like the perf-smoke harness can assert a shape *would* parallelise).
+/// element-ops, justifies a fork/join. This is the grain policy shared by
+/// parallel_for and the GEMM tile scheduler (exposed so callers like the
+/// perf-smoke harness can assert a shape *would* parallelise).
 inline bool parallel_worthwhile(std::size_t n, std::size_t work_per_iter) {
   if (n < 2) return false;
   if (work_per_iter == 0) work_per_iter = 1;
@@ -43,22 +47,20 @@ inline bool parallel_worthwhile(std::size_t n, std::size_t work_per_iter) {
 }
 
 /// Run `fn(i)` for i in [0, n), forking when the total work — trip count x
-/// `work_per_iter` element-ops — crosses kParallelWorkGrain. `fn` must be
-/// safe to call concurrently for distinct indices.
+/// `work_per_iter` element-ops — crosses kParallelWorkGrain. Tasks are
+/// sized so each carries about one work-grain of element-ops (heavy
+/// iterations, like GEMM C-tiles, become one task each and steal freely
+/// across batch-level siblings). `fn` must be safe to call concurrently for
+/// distinct indices.
 template <typename Fn>
 void parallel_for(std::size_t n, std::size_t work_per_iter, Fn&& fn) {
   if (!parallel_worthwhile(n, work_per_iter)) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    fn(static_cast<std::size_t>(i));
-  }
-#else
-  for (std::size_t i = 0; i < n; ++i) fn(i);
-#endif
+  if (work_per_iter == 0) work_per_iter = 1;
+  const std::size_t grain = kParallelWorkGrain / work_per_iter;
+  sched::parallel_indices(n, grain, 0, fn);
 }
 
 /// Run `fn(i)` for i in [0, n) assuming unit-cost iterations (elementwise
@@ -72,54 +74,63 @@ void parallel_for(std::size_t n, Fn&& fn) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    fn(static_cast<std::size_t>(i));
-  }
-#else
-  for (std::size_t i = 0; i < n; ++i) fn(i);
-#endif
+  sched::parallel_indices(n, kParallelGrain, 0, fn);
 }
 
 /// Run `fn(i)` for i in [0, n) with NO grain threshold — for coarse tasks
-/// (per-block codec work) where every iteration is already substantial and
-/// the caller wants parallelism even at small trip counts. `num_threads`
-/// caps the worker count: 0 = all hardware threads, 1 = force serial. Work
-/// is distributed dynamically since block cost can be skewed (outlier-heavy
-/// blocks encode slower). The iteration order a thread observes is
-/// unspecified, so `fn` must write only to per-index state.
+/// (per-block codec work, per-sample conv batches) where every iteration is
+/// already substantial and the caller wants parallelism even at small trip
+/// counts. `num_threads` caps the worker count: 0 = the whole pool, 1 =
+/// force serial, N = at most N pool threads pulling indices dynamically
+/// (scheduler worker slots). Index distribution stays dynamic at
+/// granularity 1 in every mode, which is what absorbs skewed iteration
+/// costs (outlier-heavy codec blocks encode slower). The iteration order a
+/// thread observes is unspecified, so `fn` must write only to per-index
+/// state.
 template <typename Fn>
 void parallel_for_tasks(std::size_t n, unsigned num_threads, Fn&& fn) {
-  if (n == 0) return;
-#ifdef _OPENMP
-  const int want = num_threads == 0 ? omp_get_max_threads()
-                                    : static_cast<int>(num_threads);
-  if (want > 1 && n > 1) {
-#pragma omp parallel for schedule(dynamic, 1) num_threads(want)
-    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-      fn(static_cast<std::size_t>(i));
-    }
-    return;
-  }
-#endif
-  (void)num_threads;
-  for (std::size_t i = 0; i < n; ++i) fn(i);
+  sched::parallel_indices(n, 1, num_threads, fn);
 }
 
-/// Sum-reduce `fn(i)` over [0, n) in parallel.
+/// Fixed-partition reduction over [0, n): the range is cut into
+/// kParallelGrain-sized chunks (a pure function of n alone), `chunk(lo, hi,
+/// acc)` reduces each one serially into its own accumulator, and the
+/// partials merge in index order via `merge(total, partial)` — so the
+/// result is identical at every pool size, and below the grain the
+/// reduction degenerates to the exact serial loop. This is the one place
+/// the chunking scaffolding lives; parallel_sum and tensor::max_abs are
+/// thin instantiations.
+template <typename T, typename ChunkFn, typename MergeFn>
+T parallel_reduce(std::size_t n, T identity, ChunkFn&& chunk, MergeFn&& merge) {
+  if (n < kParallelGrain) {
+    T acc = identity;
+    chunk(std::size_t{0}, n, acc);
+    return acc;
+  }
+  const std::size_t nchunks = (n + kParallelGrain - 1) / kParallelGrain;
+  std::vector<T> partial(nchunks, identity);
+  sched::parallel_ranges(nchunks, 1, 0, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      const std::size_t lo = c * kParallelGrain;
+      chunk(lo, lo + kParallelGrain < n ? lo + kParallelGrain : n, partial[c]);
+    }
+  });
+  T total = identity;
+  for (const T& p : partial) merge(total, p);
+  return total;
+}
+
+/// Sum-reduce `fn(i)` over [0, n) in parallel. Fixed partition + in-order
+/// merge: identical at every thread count (unlike an OpenMP reduction
+/// clause, whose partitioning tracked the team size).
 template <typename Fn>
 double parallel_sum(std::size_t n, Fn&& fn) {
-  double total = 0.0;
-#ifdef _OPENMP
-#pragma omp parallel for schedule(static) reduction(+ : total)
-  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
-    total += fn(static_cast<std::size_t>(i));
-  }
-#else
-  for (std::size_t i = 0; i < n; ++i) total += fn(i);
-#endif
-  return total;
+  return parallel_reduce(
+      n, 0.0,
+      [&fn](std::size_t lo, std::size_t hi, double& acc) {
+        for (std::size_t i = lo; i < hi; ++i) acc += fn(i);
+      },
+      [](double& total, double p) { total += p; });
 }
 
 }  // namespace ebct::tensor

@@ -1,0 +1,447 @@
+#include "tensor/sched.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ebct::tensor::sched {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Task representation. A TaskSet is the join object of one parallel call; it
+// lives on the submitting thread's stack for the duration of the call.
+// `remaining` counts indices (not tasks): it reaches zero exactly when every
+// i in [0, n) has been executed, which is the join condition. Workers touch
+// the set strictly before their final fetch_sub, so once the submitter
+// observes zero the set can safely go out of scope.
+// ---------------------------------------------------------------------------
+
+struct TaskSet {
+  void (*body)(void*, std::size_t, std::size_t);
+  void* ctx;
+  std::atomic<std::size_t> remaining;
+  std::size_t grain;
+  bool splittable;  ///< false for capped (max_workers) worker-slot sets
+};
+
+/// Capped submission (max_workers = k > 1): the set's tasks are min(k, n)
+/// *worker slots*, not index ranges — each slot pulls indices one at a time
+/// from the shared counter until the range drains. At most k threads can
+/// hold a slot (the cap), while index distribution stays dynamic at
+/// granularity 1, matching the old OpenMP schedule(dynamic,1)
+/// num_threads(k) behaviour for skewed iteration costs. Which thread runs
+/// which index floats; callers observe only per-index writes, so outputs
+/// stay deterministic.
+struct CappedLoop {
+  void (*body)(void*, std::size_t, std::size_t);
+  void* ctx;
+  std::atomic<std::size_t> next;
+  std::size_t n;
+};
+
+void run_capped_slot(void* c, std::size_t, std::size_t) {
+  auto* loop = static_cast<CappedLoop*>(c);
+  std::size_t i;
+  while ((i = loop->next.fetch_add(1, std::memory_order_relaxed)) < loop->n) {
+    loop->body(loop->ctx, i, i + 1);
+  }
+}
+
+struct Task {
+  TaskSet* set;
+  std::size_t begin;
+  std::size_t end;
+};
+
+// ---------------------------------------------------------------------------
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA'05). Single owner
+// pushes/pops at the bottom (LIFO, keeps the cache-hot half of a split
+// local); any thread steals from the top (FIFO, hands thieves the largest
+// unsplit range).
+//
+// Deviations from the textbook version, all deliberate:
+//  - The buffer is fixed-size ("fixed-size task graph"): push reports
+//    failure when full and the caller runs the range inline instead of
+//    growing the array. Capacity 256 is far beyond the log2(n/grain) split
+//    depth any real submission produces, so in practice push never fails;
+//    the bound just makes memory use static and the code resize-free.
+//  - Each cell's fields are individual relaxed atomics rather than one
+//    plain struct. A thief reads the cell *before* its CAS on `top`
+//    confirms ownership, so under wrap-around it can observe a cell the
+//    owner is concurrently rewriting. The CAS fails in exactly that case
+//    and the torn value is discarded — but the read itself must still be
+//    data-race-free for TSan and the C++ memory model, hence atomics.
+//  - top/bottom use seq_cst *operations*, not the fence-based formulation
+//    of Lê et al. (PPoPP'13). Two reasons: the store-load orderings the
+//    protocol needs (pop's bottom decrement vs top read, steal's top read
+//    vs bottom read) fall out of the seq_cst total order without separate
+//    reasoning, and — decisive here — the publication edge for the task
+//    *payload* (cells plus the submitter-stack TaskSet behind the pointer)
+//    must be carried by bottom's store-release pairing with the thief's
+//    load-acquire, because thread fences are not modelled by TSan and a
+//    sanitizer-hostile scheduler cannot be raced-gated in CI. The extra
+//    fence per deque op is noise against task bodies that are µs-scale by
+//    grain-policy construction.
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  std::atomic<TaskSet*> set{nullptr};
+  std::atomic<std::size_t> begin{0};
+  std::atomic<std::size_t> end{0};
+};
+
+constexpr std::size_t kDequeCap = 256;  // power of two
+constexpr std::size_t kDequeMask = kDequeCap - 1;
+
+struct alignas(64) Slot {
+  std::atomic<std::int64_t> top{0};
+  std::atomic<std::int64_t> bottom{0};
+  std::atomic<bool> claimed{false};
+  Cell cells[kDequeCap];
+};
+
+/// Owner-only push. False when full (caller runs the task inline). The
+/// seq_cst bottom store is the publication point: everything sequenced
+/// before it — the cell fields AND the submitter-stack TaskSet the cell
+/// points at — becomes visible to a thief whose bottom load reads it.
+bool deque_push(Slot& s, const Task& t) {
+  const std::int64_t b = s.bottom.load(std::memory_order_relaxed);
+  const std::int64_t top = s.top.load(std::memory_order_seq_cst);
+  if (b - top >= static_cast<std::int64_t>(kDequeCap)) return false;
+  Cell& c = s.cells[static_cast<std::size_t>(b) & kDequeMask];
+  c.set.store(t.set, std::memory_order_relaxed);
+  c.begin.store(t.begin, std::memory_order_relaxed);
+  c.end.store(t.end, std::memory_order_relaxed);
+  s.bottom.store(b + 1, std::memory_order_seq_cst);
+  return true;
+}
+
+/// Owner-only pop from the bottom. The seq_cst order between the bottom
+/// decrement and the top read is what stops owner and thief both taking a
+/// sole remaining task.
+bool deque_pop(Slot& s, Task& out) {
+  const std::int64_t b = s.bottom.load(std::memory_order_relaxed) - 1;
+  s.bottom.store(b, std::memory_order_seq_cst);
+  std::int64_t t = s.top.load(std::memory_order_seq_cst);
+  bool got = false;
+  if (t <= b) {
+    const Cell& c = s.cells[static_cast<std::size_t>(b) & kDequeMask];
+    out.set = c.set.load(std::memory_order_relaxed);
+    out.begin = c.begin.load(std::memory_order_relaxed);
+    out.end = c.end.load(std::memory_order_relaxed);
+    got = true;
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!s.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+        got = false;
+      }
+      s.bottom.store(b + 1, std::memory_order_seq_cst);
+    }
+  } else {
+    s.bottom.store(b + 1, std::memory_order_seq_cst);
+  }
+  return got;
+}
+
+/// Thief-side steal from the top; any thread but the owner. The cell (and
+/// the TaskSet it points at) may only be *used* after the CAS confirms this
+/// thief owns entry t; a failed CAS discards the possibly-stale fields.
+bool deque_steal(Slot& s, Task& out) {
+  std::int64_t t = s.top.load(std::memory_order_seq_cst);
+  const std::int64_t b = s.bottom.load(std::memory_order_seq_cst);
+  if (t >= b) return false;
+  const Cell& c = s.cells[static_cast<std::size_t>(t) & kDequeMask];
+  Task task;
+  task.set = c.set.load(std::memory_order_relaxed);
+  task.begin = c.begin.load(std::memory_order_relaxed);
+  task.end = c.end.load(std::memory_order_relaxed);
+  if (!s.top.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                     std::memory_order_seq_cst)) {
+    return false;
+  }
+  out = task;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Slot registry. Slots are plain static storage (trivially destructible
+// atomics) so a thread releasing its slot during thread exit never races
+// static destruction of the scheduler itself. Pool workers and external
+// submitters (main thread, the async codec store's thread, test threads)
+// all claim from the same array; thieves scan all of it.
+// ---------------------------------------------------------------------------
+
+// Sized for manycore servers: 128 slots ≈ 0.8 MB of static task storage and
+// a 2-load-per-slot steal scan, both cheap. Workers are capped below the
+// slot count so external submitter threads (main, async codec stores,
+// tests) can always claim one; a thread that finds no free slot just runs
+// serially.
+constexpr int kMaxSlots = 128;
+constexpr int kMaxThreads = kMaxSlots - 16;
+
+Slot g_slots[kMaxSlots];
+
+Slot* claim_slot() {
+  for (auto& s : g_slots) {
+    bool expected = false;
+    if (s.claimed.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+/// Thread-local lease: claimed on a thread's first submission (or at worker
+/// startup) and released at thread exit. For the main thread, thread_local
+/// destruction is sequenced before static destruction, so the release in
+/// the destructor never touches freed scheduler state (and g_slots itself
+/// is immortal).
+struct SlotLease {
+  Slot* slot = nullptr;
+  bool tried = false;
+  ~SlotLease() {
+    if (slot != nullptr) slot->claimed.store(false, std::memory_order_release);
+  }
+};
+
+thread_local SlotLease t_lease;
+
+Slot* this_thread_slot() {
+  if (!t_lease.tried) {
+    t_lease.tried = true;
+    t_lease.slot = claim_slot();
+  }
+  return t_lease.slot;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: worker lifecycle + the submit/join protocol.
+// ---------------------------------------------------------------------------
+
+class Scheduler {
+ public:
+  static Scheduler& instance() {
+    static Scheduler s;
+    return s;
+  }
+
+  int threads() const { return threads_.load(std::memory_order_relaxed); }
+
+  void set_threads(int n) {
+    if (n < 1) n = 1;
+    if (n > kMaxThreads) n = kMaxThreads;
+    std::lock_guard<std::mutex> config_lock(config_mu_);
+    if (n == threads_.load(std::memory_order_relaxed)) return;
+    stop_workers();
+    start_workers(n);
+  }
+
+  void run(std::size_t n, std::size_t grain, unsigned max_workers,
+           void (*body)(void*, std::size_t, std::size_t), void* ctx) {
+    if (n == 0) return;
+    if (grain == 0) grain = 1;
+    // A single task's worth of work never forks: n == 1, an uncapped range
+    // that fits in one grain, or an explicit serial cap.
+    const bool one_task = max_workers == 0 ? n <= grain : (n == 1 || max_workers == 1);
+    Slot* slot = nullptr;
+    if (!one_task && threads() > 1) slot = this_thread_slot();
+    if (slot == nullptr) {
+      // Serial: one thread configured, caller capped the set to one worker,
+      // or no free submitter slot (extreme external-thread pressure).
+      body(ctx, 0, n);
+      return;
+    }
+
+    // Once a set is published, every body invocation must be no-throw (see
+    // execute()): an unwind past the stack-resident set while workers hold
+    // its address would be use-after-scope.
+    CappedLoop capped{body, ctx, {0}, n};
+    TaskSet set{body, ctx, {n}, grain, /*splittable=*/true};
+    if (max_workers > 1) {
+      // See CappedLoop: min(max_workers, n) pull-loop slots bound the
+      // concurrency while keeping index distribution dynamic.
+      const std::size_t parts = std::min<std::size_t>(max_workers, n);
+      set.body = run_capped_slot;
+      set.ctx = &capped;
+      set.remaining.store(parts, std::memory_order_relaxed);
+      set.splittable = false;
+      const auto run_slot = [&]() noexcept {
+        run_capped_slot(&capped, 0, 0);
+        set.remaining.fetch_sub(1, std::memory_order_release);
+      };
+      for (std::size_t p = 1; p < parts; ++p) {
+        if (deque_push(*slot, {&set, p, p + 1})) {
+          notify();
+        } else {
+          run_slot();
+        }
+      }
+      run_slot();
+    } else if (deque_push(*slot, {&set, 0, n})) {
+      // Publish the whole range; the join loop below pops it straight back
+      // and execute() fans it out (help-first), racing the woken workers.
+      notify();
+    } else {
+      body(ctx, 0, n);
+      return;
+    }
+
+    // Join: drain our own deque, then steal. Stolen tasks may belong to
+    // *other* sets (an outer batch loop, a sibling submission) — executing
+    // them here is what lets nested levels share one pool without anyone
+    // blocking. A joining thread never sleeps.
+    Task t;
+    while (set.remaining.load(std::memory_order_acquire) != 0) {
+      if (deque_pop(*slot, t) || try_steal(slot, t)) {
+        execute(t, slot);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  Scheduler() {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("EBCT_SCHED_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) n = static_cast<int>(v);
+    }
+    if (n < 1) n = 1;
+    if (n > kMaxThreads) n = kMaxThreads;
+    start_workers(n);
+  }
+
+  ~Scheduler() { stop_workers(); }
+
+  void start_workers(int total) {
+    stop_.store(false, std::memory_order_relaxed);
+    threads_.store(total, std::memory_order_relaxed);
+    workers_.reserve(static_cast<std::size_t>(total - 1));
+    for (int i = 1; i < total; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void stop_workers() {
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      signal_.fetch_add(1, std::memory_order_release);
+      cv_.notify_all();
+    }
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    threads_.store(1, std::memory_order_relaxed);
+  }
+
+  void worker_main() {
+    Slot* slot = this_thread_slot();
+    while (!stop_.load(std::memory_order_acquire)) {
+      // `seen` is recorded before the scan: a task pushed after this load
+      // bumps the signal past `seen` and the sleep predicate fails, so the
+      // push is never missed. A task pushed before it is visible to the
+      // scan (the signal bump's release pairs with this acquire).
+      const std::uint64_t seen = signal_.load(std::memory_order_acquire);
+      bool found = false;
+      Task t;
+      for (int spin = 0; spin < 64; ++spin) {
+        if ((slot != nullptr && deque_pop(*slot, t)) || try_steal(slot, t)) {
+          execute(t, slot);
+          found = true;
+          break;
+        }
+        std::this_thread::yield();
+      }
+      if (found) continue;
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] {
+          return stop_.load(std::memory_order_relaxed) ||
+                 signal_.load(std::memory_order_relaxed) != seen;
+        });
+      }
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Execute a range task, splitting off the upper half for thieves while
+  /// the range still exceeds the set's grain (help-first: publish before
+  /// compute). The final fetch_sub is the worker's last touch of the set.
+  /// noexcept on purpose: a body that throws mid-set would unwind the
+  /// submitter's stack-resident TaskSet under running workers; terminating
+  /// instead matches the OpenMP-parallel-region semantics this scheduler
+  /// replaced (the serial path in run() still propagates normally).
+  void execute(const Task& t, Slot* slot) noexcept {
+    TaskSet* s = t.set;
+    std::size_t b = t.begin;
+    std::size_t e = t.end;
+    if (s->splittable && slot != nullptr) {
+      while (e - b > s->grain) {
+        const std::size_t mid = b + (e - b) / 2;
+        if (!deque_push(*slot, {s, mid, e})) break;
+        notify();
+        e = mid;
+      }
+    }
+    s->body(s->ctx, b, e);
+    s->remaining.fetch_sub(e - b, std::memory_order_release);
+  }
+
+  bool try_steal(Slot* self, Task& out) {
+    // Rotating start index decorrelates victims across thieves.
+    thread_local unsigned rot =
+        static_cast<unsigned>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    rot = rot * 1664525u + 1013904223u;
+    const unsigned start = rot % kMaxSlots;
+    for (unsigned i = 0; i < kMaxSlots; ++i) {
+      Slot* victim = &g_slots[(start + i) % kMaxSlots];
+      if (victim == self) continue;
+      if (deque_steal(*victim, out)) return true;
+    }
+    return false;
+  }
+
+  /// Wake sleeping workers. The signal bump is unconditional and ordered
+  /// before the sleeper check (see worker_main for the pairing argument).
+  void notify() {
+    signal_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::atomic<int> threads_{1};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> signal_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::mutex config_mu_;
+};
+
+}  // namespace
+
+int num_threads() { return Scheduler::instance().threads(); }
+
+void set_num_threads(int n) { Scheduler::instance().set_threads(n); }
+
+namespace detail {
+void run_range(std::size_t n, std::size_t grain, unsigned max_workers,
+               void (*body)(void*, std::size_t, std::size_t), void* ctx) {
+  Scheduler::instance().run(n, grain, max_workers, body, ctx);
+}
+}  // namespace detail
+
+}  // namespace ebct::tensor::sched

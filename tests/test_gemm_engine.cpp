@@ -14,29 +14,14 @@
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
 #include "tensor/rng.hpp"
-
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "tensor/sched.hpp"
 
 namespace ebct::tensor {
 namespace {
 
-void set_threads(int t) {
-#ifdef _OPENMP
-  omp_set_num_threads(t);
-#else
-  (void)t;
-#endif
-}
+void set_threads(int t) { sched::set_num_threads(t); }
 
-int default_threads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
+int default_threads() { return sched::num_threads(); }
 
 enum class Variant { kPlain, kAt, kBt };
 

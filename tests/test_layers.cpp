@@ -12,6 +12,7 @@
 #include "nn/residual.hpp"
 #include "nn/simple_layers.hpp"
 #include "nn/softmax_xent.hpp"
+#include "tensor/sched.hpp"
 #include "util/test_util.hpp"
 
 namespace ebct::nn {
@@ -219,6 +220,31 @@ TEST(Conv2dLayer, ChannelMismatchThrows) {
   EXPECT_THROW(conv.forward(x, true), std::invalid_argument);
 }
 
+TEST(Conv2dLayer, WeightGradPartialsReuseScratchArena) {
+  // The fixed-fanout weight-grad partial buffers come from the calling
+  // thread's scratch arena: after a warm-up iteration, further backward
+  // passes must be free-list hits — the arena's capacity stops growing.
+  Rng rng(68);
+  Conv2d conv("c", Conv2dSpec{4, 8, 3, 1, 1}, rng);
+  RawStore store;
+  conv.set_store(&store);
+  Tensor x = random_tensor(Shape::nchw(3, 4, 8, 8), 168);
+  // Pool of 1 keeps every task on this thread: under stealing, a help-first
+  // join may nest two sample tasks on one thread and (correctly, boundedly)
+  // grow that thread's arena, which would make exact-capacity flaky.
+  const int pool = tensor::sched::num_threads();
+  tensor::sched::set_num_threads(1);
+  auto step = [&] {
+    Tensor y = conv.forward(x, true);
+    conv.backward(Tensor(y.shape(), 0.1f));
+  };
+  step();  // warm-up sizes the arena
+  const std::size_t cap = tensor::ScratchArena::local().capacity_bytes();
+  for (int i = 0; i < 3; ++i) step();
+  EXPECT_EQ(tensor::ScratchArena::local().capacity_bytes(), cap);
+  tensor::sched::set_num_threads(pool);
+}
+
 // --- Pooling -------------------------------------------------------------------
 
 TEST(MaxPoolLayer, ForwardPicksMax) {
@@ -375,6 +401,32 @@ TEST(BatchNormLayer, GammaBetaGradCheck) {
   EXPECT_LT(check_param_gradient(bn, *params[0], make), 2e-2);
   bn.params()[0]->grad.zero();
   EXPECT_LT(check_param_gradient(bn, *params[1], make), 2e-2);
+}
+
+TEST(BatchNormLayer, SavedStateReusesScratchArena) {
+  // x_hat lives in the scratch arena between forward and backward; repeated
+  // train iterations (and eval forwards, which re-acquire in place) must
+  // reuse the same block rather than grow the arena.
+  BatchNorm bn("bn", 4);
+  Tensor x = random_tensor(Shape::nchw(2, 4, 6, 6), 79);
+  const int pool = tensor::sched::num_threads();
+  tensor::sched::set_num_threads(1);  // see WeightGradPartialsReuseScratchArena
+  auto step = [&] {
+    Tensor y = bn.forward(x, true);
+    bn.backward(Tensor(y.shape(), 0.1f));
+  };
+  step();
+  const std::size_t cap = tensor::ScratchArena::local().capacity_bytes();
+  for (int i = 0; i < 3; ++i) step();
+  bn.forward(x, false);  // eval forward leaves a live hold...
+  bn.forward(x, false);  // ...which the next acquire recycles
+  EXPECT_EQ(tensor::ScratchArena::local().capacity_bytes(), cap);
+  tensor::sched::set_num_threads(pool);
+}
+
+TEST(BatchNormLayer, BackwardWithoutForwardThrows) {
+  BatchNorm bn("bn", 1);
+  EXPECT_THROW(bn.backward(Tensor(Shape::nchw(1, 1, 2, 2), 0.1f)), std::logic_error);
 }
 
 // --- LRN ------------------------------------------------------------------------
