@@ -1,0 +1,173 @@
+// Budget sweep: trains the same model under a descending ladder of memory
+// budgets and charts throughput against the budget, proving the pager's two
+// headline claims: (1) the RSS-proxy (pager accounting bytes) respects the
+// budget at every sweep point, and (2) the training trajectory is
+// byte-identical at every point — the budget moves bytes between RAM, disk
+// and time, never values. Emits BENCH_fig_budget_sweep.json.
+//
+// Also answers the ROADMAP's max_workers question: with training compute
+// saturating the pool, does capping the codec's per-call worker count help
+// or hurt? A secondary sweep times async-encode training at caps 0 (whole
+// pool) / 2 / 1 and reports the ratio.
+//
+// Usage: fig_budget_sweep [--smoke]
+//   --smoke: reduced iterations, tighter sweep, non-zero exit on any
+//            violated invariant (budget overshoot, trajectory divergence,
+//            spill-file leak) — run as a CTest target under ASan in CI.
+//   The spill directory honours EBCT_SPILL_DIR.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "memory/accounting.hpp"
+#include "memory/pager.hpp"
+#include "memory/spill_file.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace ebct;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fig_budget_sweep FAIL: %s\n", what);
+    ++g_failures;
+  }
+}
+
+struct SweepPoint {
+  std::vector<double> losses;
+  double seconds = 0.0;
+  memory::PagerCounters pager;
+};
+
+SweepPoint train(std::size_t budget, std::size_t iterations, bool async_encode,
+                 std::uint32_t codec_cap) {
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 11;
+  auto net = models::make_resnet18(mcfg);
+
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 64;
+  dspec.seed = 777;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 16, true, true, 27);
+
+  core::SessionConfig cfg;
+  cfg.mode = core::StoreMode::kFramework;
+  cfg.framework.active_factor_w = 10;
+  cfg.framework.memory_budget_bytes = budget;
+  cfg.framework.async_compression = async_encode;
+  cfg.framework.compressor_threads = codec_cap;
+  cfg.base_lr = 0.05;
+  core::TrainingSession session(*net, loader, cfg);
+
+  SweepPoint p;
+  p.seconds = bench::time_seconds([&] {
+    session.run(iterations, [&](const core::IterationRecord& rec) {
+      p.losses.push_back(rec.loss);
+    });
+  });
+  p.pager = session.paged_store()->pager().counters();
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::size_t iters = smoke ? 8 : 40;
+  bench::JsonReporter report("fig_budget_sweep");
+
+  // Reference: unbudgeted. Its resident peak defines the sweep ladder.
+  const SweepPoint ref = train(0, iters, false, 0);
+  const std::size_t peak = ref.pager.peak_resident_bytes;
+  std::printf("unbudgeted compressed peak: %s, %.2f iter/s\n",
+              memory::human_bytes(peak).c_str(),
+              static_cast<double>(iters) / ref.seconds);
+  report.add("unlimited", {{"budget_bytes", 0.0},
+                           {"iters_per_sec", static_cast<double>(iters) / ref.seconds},
+                           {"peak_resident_bytes", static_cast<double>(peak)},
+                           {"spill_write_bytes", 0.0},
+                           {"budget_respected", 1.0}});
+
+  const double fractions[] = {1.0, 0.75, 0.5, 0.25};
+  for (const double frac : fractions) {
+    const std::size_t budget =
+        static_cast<std::size_t>(static_cast<double>(peak) * frac);
+    const SweepPoint p = train(budget, iters, false, 0);
+    const bool respected = p.pager.peak_resident_bytes <= budget;
+    const bool identical = p.losses == ref.losses;
+    char name[32];
+    std::snprintf(name, sizeof(name), "budget_%d%%", static_cast<int>(frac * 100));
+    std::printf(
+        "%-12s %-12s %6.2f iter/s  peak %-12s spilled %-12s prefetch %zu/%zu  %s %s\n",
+        name, memory::human_bytes(budget).c_str(),
+        static_cast<double>(iters) / p.seconds,
+        memory::human_bytes(p.pager.peak_resident_bytes).c_str(),
+        memory::human_bytes(p.pager.spill_write_bytes).c_str(),
+        p.pager.prefetch_hits, p.pager.prefetch_submitted,
+        respected ? "budget-ok" : "BUDGET-VIOLATED",
+        identical ? "bitwise-ok" : "TRAJECTORY-DIVERGED");
+    report.add(name,
+               {{"budget_bytes", static_cast<double>(budget)},
+                {"iters_per_sec", static_cast<double>(iters) / p.seconds},
+                {"peak_resident_bytes", static_cast<double>(p.pager.peak_resident_bytes)},
+                {"spill_write_bytes", static_cast<double>(p.pager.spill_write_bytes)},
+                {"spill_read_bytes", static_cast<double>(p.pager.spill_read_bytes)},
+                {"evictions", static_cast<double>(p.pager.evictions)},
+                {"prefetch_hits", static_cast<double>(p.pager.prefetch_hits)},
+                {"budget_respected", respected ? 1.0 : 0.0},
+                {"bitwise_identical", identical ? 1.0 : 0.0}});
+    check(respected, "peak resident bytes respect the budget");
+    check(identical, "training trajectory byte-identical under budget");
+    if (frac <= 0.5) {
+      check(p.pager.spill_write_bytes > 0,
+            "a budget at <=50% of peak actually reaches the disk tier");
+    }
+  }
+
+  // ROADMAP question: codec max_workers cap under async encode. cap=0 lets
+  // encode tasks use the whole pool (stealing idle cycles from compute);
+  // smaller caps pin them down.
+  for (const std::uint32_t cap : {0u, 2u, 1u}) {
+    const SweepPoint p = train(0, iters, /*async_encode=*/true, cap);
+    check(p.losses == ref.losses, "async encode trajectory byte-identical");
+    char name[32];
+    std::snprintf(name, sizeof(name), "codec_cap_%u", cap);
+    std::printf("%-12s %6.2f iter/s (vs sync %6.2f)\n", name,
+                static_cast<double>(iters) / p.seconds,
+                static_cast<double>(iters) / ref.seconds);
+    report.add(name, {{"iters_per_sec", static_cast<double>(iters) / p.seconds},
+                      {"sync_iters_per_sec", static_cast<double>(iters) / ref.seconds}});
+  }
+
+  // Spill-dir teardown: every pager above is destroyed; no descriptor and
+  // no on-disk file may survive.
+  check(memory::SpillFile::files_open() == 0, "no spill file left open");
+  if (const char* dir = std::getenv("EBCT_SPILL_DIR")) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      if (entry.path().filename().string().rfind("ebct-spill-", 0) == 0) {
+        check(false, "spill dir still contains an ebct-spill file");
+      }
+    }
+  }
+
+  if (g_failures == 0) std::printf("fig_budget_sweep: all invariants held\n");
+  return g_failures == 0 ? 0 : 1;
+}

@@ -114,6 +114,11 @@ using TimingRows = std::vector<std::pair<std::string, double>>;
 void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
                          int machine_threads) {
   set_threads(machine_threads);
+  // The steal histogram accumulates across the timed section only, so the
+  // emitted latencies describe a loaded pool — the regime pager prefetch
+  // tasks compete in. A latency regression here shows up before it costs
+  // backward-pass overlap.
+  tensor::sched::reset_steal_stats();
   for (const auto& s : kConvShapes) {
     tensor::Rng rng(9);
     std::vector<float> a(s.m * s.k), b(s.k * s.n), c(s.m * s.n);
@@ -145,6 +150,18 @@ void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
   std::printf("%-24s %8.3f ms\n", "conv_fwd_bwd", sec * 1e3);
   report.add("conv_fwd_bwd", {{"seconds", sec}});
   timings.emplace_back("conv_fwd_bwd", sec);
+
+  // Scheduler steal-latency histogram over the timed shapes (idle-scan to
+  // successful steal, sleeps excluded — see sched.hpp). Single-core
+  // machines legitimately record zero.
+  const auto ss = tensor::sched::steal_stats();
+  std::printf("%-24s %8zu steals  p50 %6.0f ns  p90 %6.0f ns  p99 %6.0f ns\n",
+              "steal_latency", static_cast<std::size_t>(ss.recorded),
+              ss.percentile_ns(0.5), ss.percentile_ns(0.9), ss.percentile_ns(0.99));
+  report.add("steal_latency", {{"steals", static_cast<double>(ss.recorded)},
+                               {"p50_ns", ss.percentile_ns(0.5)},
+                               {"p90_ns", ss.percentile_ns(0.9)},
+                               {"p99_ns", ss.percentile_ns(0.99)}});
 }
 
 /// Rows of a previous BENCH_perf_smoke.json: name -> seconds. The format is

@@ -5,6 +5,7 @@
 /// named after the symbols in the paper.
 
 #include <cstddef>
+#include <string>
 
 #include "sz/compressor.hpp"
 
@@ -40,15 +41,32 @@ struct FrameworkConfig {
   std::uint32_t compressor_threads = 0;
 
   /// Pipeline compression off the critical path: stash() enqueues the raw
-  /// activation and returns, a background worker compresses layer i-1 while
-  /// layer i computes its forward pass (the paper's overlap of encode with
-  /// compute, ported to the CPU substrate).
+  /// activation and returns, the encode runs as a task on the shared
+  /// work-stealing pool while the next layer's forward computes (the
+  /// paper's overlap of encode with compute, ported to the CPU substrate).
   bool async_compression = false;
 
-  /// Bounded pending queue for the async path; 2 = double buffering. The
-  /// forward pass blocks once this many raw activations are waiting, so
+  /// Bounded in-flight window for the async path; 2 = double buffering. The
+  /// forward pass blocks once this many raw activations await encode, so
   /// memory stays budgeted even when compute outruns the compressor.
   std::size_t async_queue_depth = 2;
+
+  /// Hard RAM budget (bytes) over the activation pager's resident tiers
+  /// (raw + compressed). 0 = unlimited. When set, the pager evicts
+  /// least-soon-needed pages to the disk spill tier and also claims the
+  /// layers' byte-exact saved-for-backward state, so the whole stash obeys
+  /// one budget. Training is byte-identical at any budget (see
+  /// memory/pager.hpp). Env override: EBCT_MEMORY_BUDGET_BYTES.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Directory for the pager's spill file; empty = the system temp
+  /// directory. Env override: EBCT_SPILL_DIR.
+  std::string spill_dir;
+
+  /// Backward-pass prefetch window: while layer k+1's gradient computes,
+  /// the pager fetches (disk read + decompress, on the pool) up to this
+  /// many upcoming activations. Env override: EBCT_PREFETCH_DEPTH.
+  std::size_t prefetch_depth = 2;
 };
 
 }  // namespace ebct::core

@@ -1,6 +1,5 @@
 #include "core/hybrid_store.hpp"
 
-#include <cstring>
 #include <stdexcept>
 
 namespace ebct::core {
@@ -8,73 +7,47 @@ namespace ebct::core {
 using tensor::Tensor;
 
 HybridStore::HybridStore(std::shared_ptr<SzActivationCodec> codec,
-                         std::shared_ptr<RoutePolicy> policy)
-    : codec_(std::move(codec)), policy_(std::move(policy)) {
+                         std::shared_ptr<RoutePolicy> policy,
+                         memory::PagerConfig pager_cfg)
+    : codec_(std::move(codec)),
+      policy_(std::move(policy)),
+      pager_(std::move(pager_cfg), codec_) {
   if (!codec_ || !policy_) throw std::invalid_argument("HybridStore: null codec/policy");
 }
 
 nn::StashHandle HybridStore::stash(const std::string& layer, Tensor&& act) {
-  const nn::StashHandle h = next_++;
   const std::size_t original = act.bytes();
-  Entry e;
-  e.shape = act.shape();
-  e.route = policy_->route(layer, original);
-  routes_[layer] = e.route;
+  const StashRoute route = policy_->route(layer, original);
+  routes_[layer] = route;
 
-  nn::StoreStats& s = stats_[layer];
-  s.stashed_tensors += 1;
-  s.original_bytes += original;
-
-  switch (e.route) {
-    case StashRoute::kCompress: {
-      e.encoded = codec_->encode(layer, act);
-      e.encoded.shape = act.shape();
-      s.stored_bytes += e.encoded.bytes.size();
-      device_bytes_ += e.encoded.bytes.size();
+  nn::StashHandle h = 0;
+  switch (route) {
+    case StashRoute::kCompress:
+      h = pager_.put(layer, std::move(act));
       break;
-    }
-    case StashRoute::kRaw: {
-      s.stored_bytes += original;
-      device_bytes_ += original;
-      e.raw = std::move(act);
+    case StashRoute::kRaw:
+      h = pager_.put_exact(layer, std::move(act));
       break;
-    }
-    case StashRoute::kMigrate: {
-      e.host.resize(original);
-      std::memcpy(e.host.data(), act.data(), original);
-      host_bytes_ += original;
+    case StashRoute::kMigrate:
+      // Exact page forced straight to the disk tier: the simulated host
+      // offload. The ledger tracks the PCIe-equivalent traffic.
+      h = pager_.put_exact(layer, std::move(act));
+      pager_.spill(h);
       migration_.bytes_out += original;
-      // Migrated stashes consume zero device bytes while parked host-side.
       break;
-    }
   }
-  entries_.emplace(h, std::move(e));
+  route_of_[h] = route;
   return h;
 }
 
 Tensor HybridStore::retrieve(nn::StashHandle handle) {
-  auto it = entries_.find(handle);
-  if (it == entries_.end()) throw std::logic_error("HybridStore::retrieve: unknown handle");
-  Entry& e = it->second;
-  Tensor out;
-  switch (e.route) {
-    case StashRoute::kCompress:
-      out = codec_->decode(e.encoded);
-      device_bytes_ -= e.encoded.bytes.size();
-      break;
-    case StashRoute::kRaw:
-      out = std::move(e.raw);
-      device_bytes_ -= out.bytes();
-      break;
-    case StashRoute::kMigrate: {
-      out = Tensor(e.shape);
-      std::memcpy(out.data(), e.host.data(), e.host.size());
-      host_bytes_ -= e.host.size();
-      migration_.bytes_back += e.host.size();
-      break;
-    }
-  }
-  entries_.erase(it);
+  auto it = route_of_.find(handle);
+  if (it == route_of_.end())
+    throw std::logic_error("HybridStore::retrieve: unknown handle");
+  const StashRoute route = it->second;
+  Tensor out = pager_.drop(handle);
+  if (route == StashRoute::kMigrate) migration_.bytes_back += out.bytes();
+  route_of_.erase(it);
   return out;
 }
 

@@ -16,6 +16,13 @@
 /// activations (cheap to recompute / expensive to compress relative to their
 /// size) stay raw, the bulk goes through the compressor, and anything above
 /// a migration threshold is offloaded.
+///
+/// Since the tiered pager landed, HybridStore is a routing policy over one
+/// ActivationPager rather than an owner of blobs: kRaw maps to an exact
+/// page, kCompress to a codec page, and kMigrate to an exact page forced
+/// straight to the pager's disk tier — the CPU substrate's stand-in for
+/// host offload, which also gives migrated bytes the same checksummed
+/// fail-loud reload path as every other spilled page.
 
 #include <map>
 #include <memory>
@@ -23,6 +30,7 @@
 
 #include "baselines/strategies.hpp"
 #include "core/sz_codec.hpp"
+#include "memory/pager.hpp"
 #include "nn/activation_store.hpp"
 
 namespace ebct::core {
@@ -66,39 +74,33 @@ struct MigrationLedger {
 
 class HybridStore : public nn::ActivationStore {
  public:
-  HybridStore(std::shared_ptr<SzActivationCodec> codec, std::shared_ptr<RoutePolicy> policy);
+  /// `pager_cfg` defaults to unlimited budget: only kMigrate pages leave
+  /// RAM unless the caller sets one (then kRaw/kCompress pages also page
+  /// out under pressure, unifying migration with budget eviction).
+  HybridStore(std::shared_ptr<SzActivationCodec> codec, std::shared_ptr<RoutePolicy> policy,
+              memory::PagerConfig pager_cfg = {});
 
   nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
   tensor::Tensor retrieve(nn::StashHandle handle) override;
 
-  /// Device-resident bytes only: migrated tensors live host-side and do not
-  /// count (that is the point of migration).
-  std::size_t held_bytes() const override { return device_bytes_; }
+  /// Device-resident bytes only: migrated tensors live host-side (the
+  /// pager's disk tier) and do not count — that is the point of migration.
+  std::size_t held_bytes() const override { return pager_.resident_bytes(); }
 
-  std::map<std::string, nn::StoreStats> stats() const override { return stats_; }
-  void reset_stats() override { stats_.clear(); }
+  std::map<std::string, nn::StoreStats> stats() const override { return pager_.stats(); }
+  void reset_stats() override { pager_.reset_stats(); }
 
-  std::size_t host_bytes() const { return host_bytes_; }
+  std::size_t host_bytes() const { return pager_.spilled_bytes(); }
   const MigrationLedger& migration() const { return migration_; }
   std::map<std::string, StashRoute> last_routes() const { return routes_; }
+  memory::ActivationPager& pager() { return pager_; }
 
  private:
-  struct Entry {
-    StashRoute route;
-    nn::EncodedActivation encoded;  // kCompress
-    tensor::Tensor raw;             // kRaw
-    std::vector<std::uint8_t> host; // kMigrate (simulated host buffer)
-    tensor::Shape shape;
-  };
-
   std::shared_ptr<SzActivationCodec> codec_;
   std::shared_ptr<RoutePolicy> policy_;
-  std::map<nn::StashHandle, Entry> entries_;
-  nn::StashHandle next_ = 1;
-  std::size_t device_bytes_ = 0;
-  std::size_t host_bytes_ = 0;
+  memory::ActivationPager pager_;
+  std::map<nn::StashHandle, StashRoute> route_of_;  ///< live handles only
   MigrationLedger migration_;
-  std::map<std::string, nn::StoreStats> stats_;
   std::map<std::string, StashRoute> routes_;
 };
 

@@ -1,10 +1,59 @@
 #include "core/session.hpp"
 
+#include <cerrno>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 namespace ebct::core {
 
 using tensor::Tensor;
+
+namespace {
+
+/// Strict unsigned parse for env overrides: a malformed value must fail
+/// loudly, not silently parse to 0 — for the budget, 0 means *unlimited*,
+/// the exact opposite of what a typo'd operator asked for. Digits only:
+/// strtoull would happily wrap "-1" to 2^64-1 (again: unlimited).
+std::size_t env_bytes(const char* name, const char* value) {
+  bool digits_only = value[0] != '\0';
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') digits_only = false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (!digits_only || *end != '\0' || errno != 0) {
+    throw std::invalid_argument(std::string(name) + ": expected a plain byte count, got '" +
+                                value + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Environment overrides for the paging knobs, so existing binaries can be
+/// driven under a budget without code changes (the budget-sweep CI leg and
+/// the README recipes use these).
+memory::PagerConfig pager_config_from(const FrameworkConfig& fw) {
+  memory::PagerConfig pc;
+  pc.budget_bytes = fw.memory_budget_bytes;
+  pc.spill_dir = fw.spill_dir;
+  pc.prefetch_depth = fw.prefetch_depth;
+  pc.async_encode = fw.async_compression;
+  pc.encode_window = fw.async_queue_depth;
+  if (const char* env = std::getenv("EBCT_MEMORY_BUDGET_BYTES")) {
+    pc.budget_bytes = env_bytes("EBCT_MEMORY_BUDGET_BYTES", env);
+  }
+  if (const char* env = std::getenv("EBCT_SPILL_DIR")) {
+    if (env[0] != '\0') pc.spill_dir = env;
+  }
+  if (const char* env = std::getenv("EBCT_PREFETCH_DEPTH")) {
+    pc.prefetch_depth = env_bytes("EBCT_PREFETCH_DEPTH", env);
+  }
+  return pc;
+}
+
+}  // namespace
 
 TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
                                  SessionConfig cfg)
@@ -26,12 +75,12 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
       sz_cfg.zero_mode = cfg_.framework.zero_mode;
       sz_cfg.num_threads = cfg_.framework.compressor_threads;
       codec_ = std::make_shared<SzActivationCodec>(sz_cfg);
-      if (cfg_.framework.async_compression) {
-        framework_store_ = std::make_unique<nn::AsyncCodecStore>(
-            codec_, cfg_.framework.async_queue_depth);
-      } else {
-        framework_store_ = std::make_unique<nn::CodecStore>(codec_);
-      }
+      // All framework training routes through the tiered pager: with no
+      // budget it behaves exactly like the old CodecStore (or, with
+      // async_compression, the retired AsyncCodecStore, now thread-free);
+      // with a budget it spills to disk and pages the layers' exact state.
+      framework_store_ = std::make_unique<memory::PagedStore>(
+          pager_config_from(cfg_.framework), codec_);
       net_.set_store(framework_store_.get());
       scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
       break;
@@ -55,7 +104,12 @@ void TrainingSession::run(std::size_t iterations,
 
     Tensor logits = net_.forward(images, /*train=*/true);
     const std::size_t held = net_.store().held_bytes();
+    const std::size_t spilled =
+        framework_store_ ? framework_store_->pager().spilled_bytes() : 0;
     const nn::LossResult lr = loss_.compute(logits, labels);
+    // Announce the LIFO replay so the pager starts fetching the deepest
+    // activations while the loss layer's gradient is still being formed.
+    net_.store().prepare_backward();
     net_.backward(lr.grad_logits);
 
     const double rate = schedule_->lr(iteration_);
@@ -74,6 +128,7 @@ void TrainingSession::run(std::size_t iterations,
     rec.train_accuracy = lr.accuracy;
     rec.lr = rate;
     rec.store_held_bytes = held;
+    rec.store_spilled_bytes = spilled;
     if (codec_) {
       const auto ratios = codec_->last_ratios();
       if (!ratios.empty()) {
@@ -109,6 +164,7 @@ double TrainingSession::evaluate(data::DataLoader& eval_loader, std::size_t batc
     // The eval forward still stashed activations; drain them with a
     // zero-gradient backward so the store does not leak across batches.
     Tensor dummy_grad(logits.shape(), 0.0f);
+    net_.store().prepare_backward();
     net_.backward(dummy_grad);
     net_.zero_grad();
   }

@@ -14,6 +14,7 @@
 #include "core/adaptive.hpp"
 #include "core/config.hpp"
 #include "data/synthetic.hpp"
+#include "memory/pager.hpp"
 #include "nn/network.hpp"
 #include "nn/sgd.hpp"
 #include "nn/softmax_xent.hpp"
@@ -43,7 +44,8 @@ struct IterationRecord {
   double train_accuracy = 0.0;
   double lr = 0.0;
   double mean_compression_ratio = 0.0;  ///< over conv layers, 0 when raw
-  std::size_t store_held_bytes = 0;     ///< peak compressed stash this iter
+  std::size_t store_held_bytes = 0;     ///< RAM-resident stash at fwd/bwd turnaround
+  std::size_t store_spilled_bytes = 0;  ///< disk-tier stash at the same point
 };
 
 class TrainingSession {
@@ -65,6 +67,8 @@ class TrainingSession {
   nn::Network& network() { return net_; }
   AdaptiveScheme* scheme() { return scheme_ ? scheme_.get() : nullptr; }
   SzActivationCodec* codec() { return codec_.get(); }
+  /// The framework mode's tiered store (null in baseline/custom modes).
+  memory::PagedStore* paged_store() { return framework_store_.get(); }
   std::size_t iteration() const { return iteration_; }
 
  private:
@@ -76,7 +80,7 @@ class TrainingSession {
   nn::SoftmaxCrossEntropy loss_;
 
   std::shared_ptr<SzActivationCodec> codec_;
-  std::unique_ptr<nn::ActivationStore> framework_store_;  ///< CodecStore or AsyncCodecStore
+  std::unique_ptr<memory::PagedStore> framework_store_;  ///< budget-enforced tiered store
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;
 

@@ -1,0 +1,680 @@
+#include "memory/pager.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ebct::memory {
+
+using tensor::Tensor;
+
+namespace {
+
+/// FNV-1a 64 over a byte span: the spill-payload integrity check. Disk
+/// corruption of a lossy blob would often be caught by the SZ header
+/// guards, but a flipped bit deep in the Huffman payload — or anywhere in
+/// an exact page's raw bytes — reconstructs silently wrong values; the
+/// checksum turns every such case into a loud failure at fetch time.
+std::uint64_t fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ActivationPager::ActivationPager(PagerConfig cfg, std::shared_ptr<nn::ActivationCodec> codec)
+    : cfg_(std::move(cfg)), codec_(std::move(codec)) {
+  if (cfg_.encode_window == 0) cfg_.encode_window = 1;
+}
+
+ActivationPager::~ActivationPager() {
+  try {
+    drain();
+  } catch (...) {
+    // Destructor drain: failures are already parked in page->error slots.
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, p] : pages_) {
+    if (p->spilled && spill_) spill_->free_extent(p->extent);
+    if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
+    if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+    if (p->spilled) account_sub(Tier::kSpilled, p->extent.size);
+  }
+  pages_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping helpers (mu_ held).
+// ---------------------------------------------------------------------------
+
+void ActivationPager::account_add(Tier t, std::size_t bytes) {
+  switch (t) {
+    case Tier::kRaw:
+      raw_bytes_ += bytes;
+      break;
+    case Tier::kCompressed:
+      compressed_bytes_ += bytes;
+      break;
+    case Tier::kSpilled:
+      spilled_bytes_ += bytes;
+      break;
+  }
+  peak_resident_ = std::max(peak_resident_, raw_bytes_ + compressed_bytes_);
+  TierAccounting::instance().add(t, bytes);
+}
+
+void ActivationPager::account_sub(Tier t, std::size_t bytes) {
+  switch (t) {
+    case Tier::kRaw:
+      raw_bytes_ -= bytes;
+      break;
+    case Tier::kCompressed:
+      compressed_bytes_ -= bytes;
+      break;
+    case Tier::kSpilled:
+      spilled_bytes_ -= bytes;
+      break;
+  }
+  TierAccounting::instance().sub(t, bytes);
+}
+
+ActivationPager::Page* ActivationPager::find_locked(PageId id) const {
+  auto it = pages_.find(id);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SpillFile& ActivationPager::spill_file_locked() {
+  if (!spill_) spill_ = std::make_unique<SpillFile>(cfg_.spill_dir);
+  return *spill_;
+}
+
+void ActivationPager::prune_tasks() {
+  std::lock_guard<std::mutex> g(tasks_mu_);
+  std::vector<tensor::sched::Future> keep;
+  keep.reserve(tasks_.size());
+  for (auto& f : tasks_) {
+    if (f.ready()) {
+      f.wait();  // instant; pager bodies never leak exceptions to the Future
+    } else {
+      keep.push_back(std::move(f));
+    }
+  }
+  tasks_ = std::move(keep);
+}
+
+// ---------------------------------------------------------------------------
+// put: the only place the lossy transform happens.
+// ---------------------------------------------------------------------------
+
+PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
+  if (!codec_) throw std::logic_error("ActivationPager::put: no codec attached");
+  prune_tasks();
+  const std::size_t original = t.bytes();
+
+  if (!cfg_.async_encode) {
+    // Encode on the caller (outside mu_: the codec forks pool tasks, and
+    // helping-join loops must never run under the pager lock).
+    nn::EncodedActivation enc = codec_->encode(layer, t);
+    enc.shape = t.shape();
+    enc.layer = layer;
+    std::unique_lock<std::mutex> lock(mu_);
+    // Make room *before* the blob lands so the resident peak, not just the
+    // settled value, respects the budget.
+    enforce_to(target_for(enc.bytes.size()), lock);
+    const PageId id = next_++;
+    auto page = std::make_unique<Page>();
+    page->layer = layer;
+    page->seq = id;
+    page->shape = t.shape();
+    page->original_bytes = original;
+    page->enc = std::move(enc);
+    page->encoded = true;
+    account_add(Tier::kCompressed, page->enc.bytes.size());
+    nn::StoreStats& s = stats_[layer];
+    s.stashed_tensors += 1;
+    s.original_bytes += original;
+    s.stored_bytes += page->enc.bytes.size();
+    pages_.emplace(id, std::move(page));
+    // See put_exact: a failed victim spill must not strand a page whose
+    // handle the caller never receives.
+    try {
+      enforce_to(cfg_.budget_bytes, lock);
+    } catch (...) {
+      Page* p = find_locked(id);
+      if (p != nullptr) {
+        if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+        if (p->spilled && spill_) {
+          spill_->free_extent(p->extent);
+          account_sub(Tier::kSpilled, p->extent.size);
+        }
+        pages_.erase(id);
+      }
+      throw;
+    }
+    return id;
+  }
+
+  // Async: bounded backpressure first, so raw tensors awaiting encode never
+  // accumulate past the window (that would defeat the budget).
+  tensor::sched::help_while([this] {
+    return encode_inflight_.load(std::memory_order_acquire) < cfg_.encode_window;
+  });
+
+  Page* p = nullptr;
+  PageId id = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    enforce_to(target_for(original), lock);
+    id = next_++;
+    auto page = std::make_unique<Page>();
+    p = page.get();
+    p->layer = layer;
+    p->seq = id;
+    p->shape = t.shape();
+    p->original_bytes = original;
+    p->raw = std::move(t);
+    p->io_busy.store(true, std::memory_order_relaxed);
+    account_add(Tier::kRaw, original);
+    pages_.emplace(id, std::move(page));
+    // Settle again: when older pages were pinned the pre-insert pass could
+    // not make room, and a hard budget beats lifetime order — the new page
+    // itself is the last-resort victim (it is io_busy here, so this only
+    // spills once the pins are the sole cause). If a victim's spill write
+    // fails, unwind the just-inserted page: its stuck busy flag (the
+    // encode task is not submitted yet) would hang every later waiter.
+    try {
+      enforce_to(cfg_.budget_bytes, lock);
+    } catch (...) {
+      account_sub(Tier::kRaw, original);
+      pages_.erase(id);
+      throw;
+    }
+  }
+  encode_inflight_.fetch_add(1, std::memory_order_relaxed);
+  // Submit outside mu_: on a one-thread pool the body runs inline here.
+  auto fut = tensor::sched::async([this, p] {
+    try {
+      nn::EncodedActivation enc = codec_->encode(p->layer, p->raw);
+      enc.shape = p->shape;
+      enc.layer = p->layer;
+      std::lock_guard<std::mutex> lock(mu_);
+      account_sub(Tier::kRaw, p->raw.bytes());
+      p->raw = Tensor();
+      p->enc = std::move(enc);
+      p->encoded = true;
+      account_add(Tier::kCompressed, p->enc.bytes.size());
+      nn::StoreStats& s = stats_[p->layer];
+      s.stashed_tensors += 1;
+      s.original_bytes += p->original_bytes;
+      s.stored_bytes += p->enc.bytes.size();
+      encode_inflight_.fetch_sub(1, std::memory_order_release);
+      p->io_busy.store(false, std::memory_order_release);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      p->error = std::current_exception();
+      encode_inflight_.fetch_sub(1, std::memory_order_release);
+      p->io_busy.store(false, std::memory_order_release);
+    }
+  });
+  {
+    std::lock_guard<std::mutex> g(tasks_mu_);
+    tasks_.push_back(std::move(fut));
+  }
+  return id;
+}
+
+PageId ActivationPager::put_exact(const std::string& layer, Tensor&& t) {
+  const std::size_t bytes = t.bytes();
+  std::unique_lock<std::mutex> lock(mu_);
+  enforce_to(target_for(bytes), lock);
+  const PageId id = next_++;
+  auto page = std::make_unique<Page>();
+  page->layer = layer;
+  page->seq = id;
+  page->exact = true;
+  page->shape = t.shape();
+  page->original_bytes = bytes;
+  page->raw = std::move(t);
+  account_add(Tier::kRaw, bytes);
+  nn::StoreStats& s = stats_[layer];
+  s.stashed_tensors += 1;
+  s.original_bytes += bytes;
+  s.stored_bytes += bytes;
+  pages_.emplace(id, std::move(page));
+  // Hard budget: if pinned pages blocked the pre-insert pass, the newest
+  // page is the last-resort victim. On a failed spill write the caller
+  // gets the exception, not a handle — so the page must not stay behind.
+  try {
+    enforce_to(cfg_.budget_bytes, lock);
+  } catch (...) {
+    Page* p = find_locked(id);
+    if (p != nullptr) {
+      if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
+      if (p->spilled && spill_) {
+        spill_->free_extent(p->extent);
+        account_sub(Tier::kSpilled, p->extent.size);
+      }
+      pages_.erase(id);
+    }
+    throw;
+  }
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Materialization (tiers 2/1 -> 0) and the in-flight wait protocol.
+// ---------------------------------------------------------------------------
+
+void ActivationPager::wait_io(Page* p, std::unique_lock<std::mutex>& lock) {
+  if (!p->io_busy.load(std::memory_order_acquire)) return;
+  lock.unlock();
+  tensor::sched::help_while(
+      [p] { return !p->io_busy.load(std::memory_order_acquire); });
+  lock.lock();
+}
+
+Tensor ActivationPager::load_payload(Page* p) {
+  if (p->spilled && !p->encoded) {
+    std::vector<std::uint8_t> buf(p->extent.size);
+    spill_->read(p->extent, buf.data());
+    if (fnv1a(buf.data(), buf.size()) != p->checksum)
+      throw std::runtime_error(
+          "ActivationPager: spill payload corrupt (checksum mismatch) for page of layer '" +
+          p->layer + "'");
+    TierAccounting::instance().on_spill_read(buf.size());
+    if (p->exact) {
+      Tensor out(p->shape);
+      std::memcpy(out.data(), buf.data(), buf.size());
+      return out;
+    }
+    nn::EncodedActivation enc;
+    enc.bytes = std::move(buf);
+    enc.shape = p->shape;
+    enc.layer = p->layer;
+    return codec_->decode(enc);
+  }
+  if (p->encoded) return codec_->decode(p->enc);
+  throw std::logic_error("ActivationPager: page has no payload");
+}
+
+void ActivationPager::materialize(Page* p, std::unique_lock<std::mutex>& lock) {
+  wait_io(p, lock);
+  if (p->raw.numel() > 0) return;
+
+  // Take I/O ownership so eviction keeps its hands off while we are
+  // decoding outside the lock, then make headroom for the incoming raw
+  // bytes so the peak respects the budget (the page's own blob is busy and
+  // stays put; others spill). A victim's spill-write failure must not
+  // leave our own busy flag stuck — waiters would hang forever.
+  p->io_busy.store(true, std::memory_order_relaxed);
+  try {
+    enforce_to(target_for(p->shape.numel() * sizeof(float)), lock);
+  } catch (...) {
+    p->io_busy.store(false, std::memory_order_release);
+    throw;
+  }
+  const bool from_disk = p->spilled && !p->encoded;
+  lock.unlock();
+
+  Tensor out;
+  std::exception_ptr err;
+  try {
+    out = load_payload(p);
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  lock.lock();
+  if (from_disk) totals_.spill_read_bytes += p->extent.size;
+  p->io_busy.store(false, std::memory_order_release);
+  if (err) std::rethrow_exception(err);
+  account_add(Tier::kRaw, out.bytes());
+  p->raw = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// pin / unpin / drop.
+// ---------------------------------------------------------------------------
+
+const Tensor& ActivationPager::pin(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Page* p = find_locked(id);
+  if (p == nullptr) throw std::logic_error("ActivationPager::pin: unknown handle");
+  wait_io(p, lock);
+  if (p->error) std::rethrow_exception(p->error);
+  materialize(p, lock);
+  p->pin_count += 1;
+  return p->raw;
+}
+
+void ActivationPager::unpin(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Page* p = find_locked(id);
+  if (p == nullptr) throw std::logic_error("ActivationPager::unpin: unknown handle");
+  if (p->pin_count <= 0) throw std::logic_error("ActivationPager::unpin: not pinned");
+  p->pin_count -= 1;
+  if (p->pin_count == 0) enforce_to(cfg_.budget_bytes, lock);
+}
+
+Tensor ActivationPager::drop(PageId id) {
+  prune_tasks();
+  std::unique_lock<std::mutex> lock(mu_);
+  Page* p = find_locked(id);
+  if (p == nullptr) throw std::logic_error("ActivationPager::drop: unknown handle");
+  if (p->pin_count > 0) throw std::logic_error("ActivationPager::drop: page is pinned");
+  wait_io(p, lock);
+
+  auto erase_page = [&] {
+    if (p->spilled && spill_) {
+      spill_->free_extent(p->extent);
+      account_sub(Tier::kSpilled, p->extent.size);
+    }
+    if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
+    if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+    pages_.erase(id);
+  };
+
+  if (p->error) {
+    std::exception_ptr err = p->error;
+    erase_page();
+    std::rethrow_exception(err);
+  }
+
+  const bool hit = p->prefetched && p->raw.numel() > 0;
+  try {
+    materialize(p, lock);
+  } catch (...) {
+    erase_page();
+    throw;
+  }
+
+  Tensor out = std::move(p->raw);
+  account_sub(Tier::kRaw, out.bytes());
+  if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+  if (p->spilled && spill_) {
+    spill_->free_extent(p->extent);
+    account_sub(Tier::kSpilled, p->extent.size);
+  }
+  const PageId seq = p->seq;
+  pages_.erase(id);
+  if (hit) {
+    totals_.prefetch_hits += 1;
+    TierAccounting::instance().on_prefetch_hit();
+  }
+  prefetch_ahead(seq, lock);
+  return out;
+}
+
+void ActivationPager::prepare_backward() {
+  std::unique_lock<std::mutex> lock(mu_);
+  prefetch_ahead(~PageId{0}, lock);
+}
+
+// ---------------------------------------------------------------------------
+// Budget enforcement: free duplicate raw caches first (no I/O), then spill
+// ascending sequence — the page put earliest is needed last.
+// ---------------------------------------------------------------------------
+
+void ActivationPager::enforce_to(std::size_t target_bytes,
+                                 std::unique_lock<std::mutex>& lock) {
+  if (cfg_.budget_bytes == 0) return;
+
+  // In-flight prefetches have reserved their raw bytes but not landed yet;
+  // counting them here keeps the resident *peak* under budget when they
+  // do (they cannot be cancelled, so eviction makes room for them now).
+  const auto resident = [this] {
+    return raw_bytes_ + compressed_bytes_ + pending_fetch_bytes_;
+  };
+
+  // Pass 1: drop tier-0 caches whose bytes also exist as a blob or extent.
+  for (auto& [id, page] : pages_) {
+    if (resident() <= target_bytes) return;
+    Page* p = page.get();
+    if (p->pin_count > 0 || p->io_busy.load(std::memory_order_relaxed)) continue;
+    if (p->raw.numel() > 0 && (p->encoded || p->spilled)) {
+      account_sub(Tier::kRaw, p->raw.bytes());
+      p->raw = Tensor();
+      p->prefetched = false;
+      totals_.evictions += 1;
+      TierAccounting::instance().on_eviction();
+    }
+  }
+
+  // Pass 2: spill to disk. The map can change while the lock is dropped
+  // around the write, so rescan from the front each round.
+  while (resident() > target_bytes) {
+    Page* victim = nullptr;
+    for (auto& [id, page] : pages_) {
+      Page* p = page.get();
+      if (p->pin_count > 0 || p->io_busy.load(std::memory_order_relaxed)) continue;
+      if (p->spilled) continue;  // RAM copy (if any) was freed in pass 1
+      if (p->encoded || (p->exact && p->raw.numel() > 0)) {
+        victim = p;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      totals_.over_budget_events += 1;
+      TierAccounting::instance().on_over_budget();
+      return;
+    }
+
+    spill_payload(victim, lock);
+    totals_.evictions += 1;
+    TierAccounting::instance().on_eviction();
+  }
+}
+
+bool ActivationPager::spill_payload(Page* p, std::unique_lock<std::mutex>& lock) {
+  if (p->spilled || (!p->encoded && p->raw.numel() == 0)) return false;
+
+  p->io_busy.store(true, std::memory_order_relaxed);
+  const bool from_enc = p->encoded;
+  const void* data = from_enc ? static_cast<const void*>(p->enc.bytes.data())
+                              : static_cast<const void*>(p->raw.data());
+  const std::size_t size = from_enc ? p->enc.bytes.size() : p->raw.bytes();
+  SpillFile& file = spill_file_locked();
+  lock.unlock();
+
+  SpillExtent ext;
+  std::exception_ptr err;
+  std::uint64_t sum = 0;
+  try {
+    sum = fnv1a(data, size);
+    ext = file.write(data, size);
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  lock.lock();
+  p->io_busy.store(false, std::memory_order_release);
+  if (err) std::rethrow_exception(err);  // payload still resident: no loss
+  p->extent = ext;
+  p->checksum = sum;
+  p->spilled = true;
+  account_add(Tier::kSpilled, size);
+  if (from_enc) {
+    account_sub(Tier::kCompressed, p->enc.bytes.size());
+    p->enc = nn::EncodedActivation{};
+    p->encoded = false;
+  } else {
+    account_sub(Tier::kRaw, p->raw.bytes());
+    p->raw = Tensor();
+  }
+  totals_.spill_write_bytes += size;
+  TierAccounting::instance().on_spill_write(size);
+  return true;
+}
+
+void ActivationPager::spill(PageId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Page* p = find_locked(id);
+  if (p == nullptr) throw std::logic_error("ActivationPager::spill: unknown handle");
+  if (p->pin_count > 0) throw std::logic_error("ActivationPager::spill: page is pinned");
+  wait_io(p, lock);
+  if (p->error) std::rethrow_exception(p->error);
+
+  // Free a duplicate raw cache first, then push the remaining RAM payload
+  // (blob or exact raw) to disk.
+  if (p->raw.numel() > 0 && (p->encoded || p->spilled)) {
+    account_sub(Tier::kRaw, p->raw.bytes());
+    p->raw = Tensor();
+    p->prefetched = false;
+  }
+  spill_payload(p, lock);
+}
+
+// ---------------------------------------------------------------------------
+// Backward-pass prefetch.
+// ---------------------------------------------------------------------------
+
+void ActivationPager::prefetch_ahead(PageId before_seq, std::unique_lock<std::mutex>& lock) {
+  if (cfg_.prefetch_depth == 0 || pages_.empty()) return;
+  // Admission reserve: the consumer is about to materialize a page of its
+  // own (typically the largest outstanding one), and in-flight fetches
+  // cannot be cancelled once admitted — so a prefetch only launches when
+  // budget still holds it *plus* one largest-page materialization. Without
+  // this, a fetch admitted while resident was low lands mid-materialize
+  // and pushes the peak over budget.
+  std::size_t reserve = 0;
+  if (cfg_.budget_bytes != 0) {
+    for (const auto& [id, page] : pages_)
+      reserve = std::max(reserve, page->shape.numel() * sizeof(float));
+  }
+  std::vector<Page*> submit;
+  std::size_t window = 0;
+  auto it = pages_.lower_bound(before_seq);
+  while (it != pages_.begin() && window < cfg_.prefetch_depth) {
+    --it;
+    Page* p = it->second.get();
+    if (p->raw.numel() > 0 || p->io_busy.load(std::memory_order_relaxed)) {
+      ++window;  // already materialized or being fetched: occupies the window
+      continue;
+    }
+    if (!p->encoded && !p->spilled) continue;  // nothing to fetch from
+    const std::size_t need = p->shape.numel() * sizeof(float);
+    if (cfg_.budget_bytes != 0 &&
+        raw_bytes_ + compressed_bytes_ + pending_fetch_bytes_ + need + reserve >
+            cfg_.budget_bytes) {
+      break;  // no headroom; lower-sequence pages are needed even later
+    }
+    p->io_busy.store(true, std::memory_order_relaxed);
+    pending_fetch_bytes_ += need;
+    submit.push_back(p);
+    ++window;
+    totals_.prefetch_submitted += 1;
+    TierAccounting::instance().on_prefetch_submitted();
+  }
+  if (submit.empty()) return;
+
+  lock.unlock();
+  for (Page* p : submit) submit_fetch(p);
+  lock.lock();
+}
+
+void ActivationPager::submit_fetch(Page* p) {
+  auto fut = tensor::sched::async([this, p] {
+    const std::size_t need = p->shape.numel() * sizeof(float);
+    const bool from_disk = p->spilled && !p->encoded;
+    try {
+      Tensor out = load_payload(p);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (from_disk) totals_.spill_read_bytes += p->extent.size;
+      pending_fetch_bytes_ -= need;
+      account_add(Tier::kRaw, out.bytes());
+      p->raw = std::move(out);
+      p->prefetched = true;
+      p->io_busy.store(false, std::memory_order_release);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_fetch_bytes_ -= need;
+      p->error = std::current_exception();
+      p->io_busy.store(false, std::memory_order_release);
+    }
+  });
+  std::lock_guard<std::mutex> g(tasks_mu_);
+  tasks_.push_back(std::move(fut));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+void ActivationPager::drain() {
+  for (;;) {
+    Page* busy = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, p] : pages_) {
+        if (p->io_busy.load(std::memory_order_acquire)) {
+          busy = p.get();
+          break;
+        }
+      }
+    }
+    if (busy == nullptr) break;
+    tensor::sched::help_while(
+        [busy] { return !busy->io_busy.load(std::memory_order_acquire); });
+  }
+  std::lock_guard<std::mutex> g(tasks_mu_);
+  for (auto& f : tasks_) f.wait();
+  tasks_.clear();
+}
+
+Tier ActivationPager::tier(PageId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Page* p = find_locked(id);
+  if (p == nullptr) throw std::logic_error("ActivationPager::tier: unknown handle");
+  if (p->raw.numel() > 0) return Tier::kRaw;
+  if (p->encoded) return Tier::kCompressed;
+  return Tier::kSpilled;
+}
+
+std::size_t ActivationPager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+std::size_t ActivationPager::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return raw_bytes_ + compressed_bytes_;
+}
+
+std::size_t ActivationPager::spilled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_bytes_;
+}
+
+PagerCounters ActivationPager::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PagerCounters c = totals_;
+  c.resident_bytes = raw_bytes_ + compressed_bytes_;
+  c.peak_resident_bytes = peak_resident_;
+  c.raw_bytes = raw_bytes_;
+  c.compressed_bytes = compressed_bytes_;
+  c.spilled_bytes = spilled_bytes_;
+  return c;
+}
+
+std::map<std::string, nn::StoreStats> ActivationPager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ActivationPager::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+std::string ActivationPager::spill_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_ ? spill_->path() : std::string();
+}
+
+}  // namespace ebct::memory

@@ -1,0 +1,268 @@
+#pragma once
+
+/// \file pager.hpp
+/// Tiered activation paging: the subsystem that turns the paper's measured
+/// memory reduction into an *enforced* byte budget. Every saved-for-backward
+/// payload in the process lives behind an ActivationPager handle in one of
+/// three tiers:
+///
+///   tier 0 (raw)        : the tensor bytes, in RAM — pinned working set,
+///                         prefetched decode caches, and not-yet-encoded
+///                         async puts;
+///   tier 1 (compressed) : the SZ/lossless codec blob, in RAM;
+///   tier 2 (spilled)    : the payload bytes in a SpillFile on disk,
+///                         guarded by a checksum so corruption fails loudly.
+///
+/// A configurable budget caps tiers 0+1 (RAM residency). When a put, pin or
+/// prefetch would exceed it the pager evicts by a lifetime heuristic: pages
+/// are keyed by their put sequence, which equals the forward-pass layer
+/// order, and the backward pass consumes them in LIFO order — so the page
+/// put *earliest* (shallowest layer) is needed *last* and is evicted first.
+/// Eviction prefers freeing duplicate raw caches (no I/O), then spills
+/// blobs (or exact raw bytes) to disk ascending that key.
+///
+/// Determinism contract: the lossy codec transform is applied exactly once
+/// per put — at encode — regardless of budget, pool size or prefetch
+/// timing; every later movement (RAM <-> disk) is byte-preserving, and
+/// exact pages never touch the codec. Training trajectories are therefore
+/// byte-identical at any budget and any scheduler pool size; the budget
+/// only moves bytes between RAM, disk and time.
+///
+/// Backward-pass prefetch: drop(h) (and prepare_backward()) submits
+/// decompression / disk-read tasks for the next `prefetch_depth` pages in
+/// reverse-sequence order onto the shared work-stealing pool
+/// (tensor::sched::async), so layer k's activation is being fetched while
+/// layer k+1's gradient computes. Prefetch respects budget headroom and is
+/// purely a cache: skipping it never changes results.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "memory/accounting.hpp"
+#include "memory/spill_file.hpp"
+#include "nn/activation_store.hpp"
+#include "tensor/sched.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ebct::memory {
+
+struct PagerConfig {
+  /// RAM budget over tiers 0+1. 0 = unlimited (pages never spill unless
+  /// spill() is called explicitly). The budget is a hard target: the pager
+  /// only rides above it while every RAM page is pinned or mid-I/O (counted
+  /// in over_budget_events) and, in async-encode mode, by the bounded
+  /// window of raw tensors awaiting encode.
+  std::size_t budget_bytes = 0;
+
+  /// Directory for the spill file; empty = the system temp directory. The
+  /// file is created lazily on first spill and unlinked on destruction.
+  std::string spill_dir;
+
+  /// Pages materialized ahead of the backward-pass consumption order.
+  std::size_t prefetch_depth = 2;
+
+  /// Encode on the shared pool instead of put()'s thread (the retired
+  /// AsyncCodecStore's double-buffered pipeline, minus its thread).
+  bool async_encode = false;
+
+  /// Max raw tensors awaiting async encode before put() applies
+  /// backpressure (2 = classic double buffering).
+  std::size_t encode_window = 2;
+};
+
+/// Per-pager counters (process-wide totals live in TierAccounting).
+struct PagerCounters {
+  std::size_t resident_bytes = 0;       ///< tiers 0+1 now
+  std::size_t peak_resident_bytes = 0;  ///< high-water of the above
+  std::size_t raw_bytes = 0;            ///< tier 0 now
+  std::size_t compressed_bytes = 0;     ///< tier 1 now
+  std::size_t spilled_bytes = 0;        ///< tier 2 now
+  std::size_t evictions = 0;
+  std::size_t spill_write_bytes = 0;
+  std::size_t spill_read_bytes = 0;
+  std::size_t prefetch_submitted = 0;
+  std::size_t prefetch_hits = 0;
+  std::size_t over_budget_events = 0;
+};
+
+using PageId = std::uint64_t;
+
+class ActivationPager {
+ public:
+  ActivationPager(PagerConfig cfg, std::shared_ptr<nn::ActivationCodec> codec);
+  ~ActivationPager();
+
+  ActivationPager(const ActivationPager&) = delete;
+  ActivationPager& operator=(const ActivationPager&) = delete;
+
+  /// Store through the lossy codec (requires one). The codec transform is
+  /// applied exactly once, here (or on the pool in async mode) — budget and
+  /// tier movement never re-encode.
+  PageId put(const std::string& layer, tensor::Tensor&& t);
+
+  /// Store byte-exact (never routed through the codec; spills raw bytes).
+  /// Safe for bitcast payloads such as argmax indices.
+  PageId put_exact(const std::string& layer, tensor::Tensor&& t);
+
+  /// Materialize the page in RAM and pin it against eviction. The reference
+  /// stays valid until the matching unpin(). Pins nest.
+  const tensor::Tensor& pin(PageId id);
+  void unpin(PageId id);
+
+  /// Destructive take: return the reconstructed tensor and release every
+  /// resource of the page (RAM, disk extent). Triggers prefetch of the next
+  /// pages in reverse-sequence (backward) order. Throws std::logic_error on
+  /// unknown or pinned handles; rethrows codec/spill failures.
+  tensor::Tensor drop(PageId id);
+
+  /// Hint that drops will now replay in LIFO order: prefetch the last
+  /// `prefetch_depth` pages (the backward pass's first needs).
+  void prepare_backward();
+
+  /// Force a page down to the disk tier (explicit offload, used by the
+  /// hybrid store's migration route). No-op if already spilled.
+  void spill(PageId id);
+
+  /// Block until every in-flight encode/prefetch task has completed,
+  /// helping the pool while waiting.
+  void drain();
+
+  Tier tier(PageId id) const;
+  std::size_t num_pages() const;
+  std::size_t resident_bytes() const;
+  std::size_t spilled_bytes() const;
+  PagerCounters counters() const;
+  std::map<std::string, nn::StoreStats> stats() const;
+  void reset_stats();
+  const PagerConfig& config() const { return cfg_; }
+  /// Path of the spill file; empty until the first spill (tests corrupt it).
+  std::string spill_path() const;
+
+ private:
+  struct Page {
+    std::string layer;
+    PageId seq = 0;             ///< put order == forward layer order
+    bool exact = false;         ///< bypasses the lossy codec everywhere
+    int pin_count = 0;
+    tensor::Shape shape;
+    std::size_t original_bytes = 0;
+
+    tensor::Tensor raw;             ///< tier-0 payload / decode cache
+    nn::EncodedActivation enc;      ///< tier-1 payload (lossy pages)
+    bool encoded = false;           ///< enc holds valid bytes
+    SpillExtent extent;             ///< tier-2 location
+    std::uint64_t checksum = 0;     ///< FNV-1a of the spilled payload
+    bool spilled = false;
+    bool prefetched = false;        ///< raw was installed ahead of need
+
+    /// A pool task (encode or fetch) owns the payload right now: eviction
+    /// skips the page, drop/pin wait (sched::help_while on this flag). The
+    /// task's last touch of the page is the release store clearing it, so
+    /// once a waiter observes false the page may be freed; the task's
+    /// Future lives in the pager-level task list, not here.
+    std::atomic<bool> io_busy{false};
+    std::exception_ptr error;       ///< deferred async failure, thrown at use
+  };
+
+  Page* find_locked(PageId id) const;
+  /// Wait (helping the pool) until the page's in-flight task finishes.
+  /// Expects `lock` held; returns with it re-held.
+  void wait_io(Page* p, std::unique_lock<std::mutex>& lock);
+  /// Push the page's RAM payload (blob or exact raw) to the disk tier.
+  /// Expects `lock` held and the page idle/unpinned; releases it around
+  /// the checksum+write. False when nothing was spillable.
+  bool spill_payload(Page* p, std::unique_lock<std::mutex>& lock);
+  /// Reconstruct the page's tensor from its current payload (disk read +
+  /// checksum verify + decode, or decode from the resident blob). Called
+  /// WITHOUT mu_ held; the caller must own the page via io_busy.
+  tensor::Tensor load_payload(Page* p);
+  /// Ensure page->raw is materialized (decode / disk read outside the
+  /// lock). Expects `lock` held; returns with it re-held.
+  void materialize(Page* p, std::unique_lock<std::mutex>& lock);
+  /// Evict until tiers 0+1 fit in `target_bytes` (no-op when unbudgeted).
+  /// Callers about to add B bytes pass budget-B so the *peak* — not just
+  /// the settled value — respects the budget. Expects `lock` held; may
+  /// release it around disk writes; returns with it re-held.
+  void enforce_to(std::size_t target_bytes, std::unique_lock<std::mutex>& lock);
+  /// Headroom helper: budget minus `incoming`, clamped at zero.
+  std::size_t target_for(std::size_t incoming) const {
+    return incoming >= cfg_.budget_bytes ? 0 : cfg_.budget_bytes - incoming;
+  }
+  void prefetch_ahead(PageId before_seq, std::unique_lock<std::mutex>& lock);
+  void submit_fetch(Page* p);
+  SpillFile& spill_file_locked();
+
+  // Tier bookkeeping helpers (mu_ held): mirror into TierAccounting.
+  void account_add(Tier t, std::size_t bytes);
+  void account_sub(Tier t, std::size_t bytes);
+
+  PagerConfig cfg_;
+  std::shared_ptr<nn::ActivationCodec> codec_;
+
+  mutable std::mutex mu_;
+  std::map<PageId, std::unique_ptr<Page>> pages_;  ///< ordered by seq
+  PageId next_ = 1;
+  std::unique_ptr<SpillFile> spill_;  ///< created on first spill
+
+  std::size_t raw_bytes_ = 0;
+  std::size_t compressed_bytes_ = 0;
+  std::size_t spilled_bytes_ = 0;
+  std::size_t pending_fetch_bytes_ = 0;  ///< raw bytes of in-flight prefetches
+  std::size_t peak_resident_ = 0;
+  PagerCounters totals_;  ///< cumulative fields only (evictions, I/O, ...)
+  std::map<std::string, nn::StoreStats> stats_;
+  std::atomic<std::size_t> encode_inflight_{0};
+
+  /// Futures of submitted tasks, joined opportunistically (ready ones are
+  /// pruned on put/drop) and fully in drain()/the destructor. Guarded by
+  /// its own mutex so submission never nests inside mu_ (a one-thread pool
+  /// runs async bodies inline, and those bodies take mu_).
+  std::mutex tasks_mu_;
+  std::vector<tensor::sched::Future> tasks_;
+  void prune_tasks();
+};
+
+/// ActivationStore adapter: the training-loop face of the pager. Replaces
+/// CodecStore/AsyncCodecStore in the session — stash() puts through the
+/// codec, retrieve() drops (with prefetch), and when a budget is active the
+/// store also claims the layers' byte-exact saved state (pages_layer_state)
+/// so every saved-for-backward byte is governed by one budget.
+class PagedStore : public nn::ActivationStore {
+ public:
+  PagedStore(PagerConfig cfg, std::shared_ptr<nn::ActivationCodec> codec)
+      : pager_(cfg, std::move(codec)) {}
+
+  nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override {
+    return pager_.put(layer, std::move(act));
+  }
+  tensor::Tensor retrieve(nn::StashHandle handle) override { return pager_.drop(handle); }
+  std::size_t held_bytes() const override { return pager_.resident_bytes(); }
+  std::map<std::string, nn::StoreStats> stats() const override { return pager_.stats(); }
+  void reset_stats() override { pager_.reset_stats(); }
+
+  bool pages_layer_state() const override { return pager_.config().budget_bytes > 0; }
+  nn::StashHandle stash_exact(const std::string& layer, tensor::Tensor&& t) override {
+    return pager_.put_exact(layer, std::move(t));
+  }
+  tensor::Tensor retrieve_exact(nn::StashHandle handle) override {
+    return pager_.drop(handle);
+  }
+  void prepare_backward() override { pager_.prepare_backward(); }
+
+  /// Block until pending async encodes/prefetches land (tests, shutdown).
+  void drain() { pager_.drain(); }
+
+  ActivationPager& pager() { return pager_; }
+  const ActivationPager& pager() const { return pager_; }
+
+ private:
+  ActivationPager pager_;
+};
+
+}  // namespace ebct::memory

@@ -4,6 +4,15 @@
 
 namespace ebct::nn {
 
+StashHandle ActivationStore::stash_exact(const std::string& layer, tensor::Tensor&&) {
+  throw std::logic_error("ActivationStore::stash_exact(" + layer +
+                         "): this store does not page layer state");
+}
+
+tensor::Tensor ActivationStore::retrieve_exact(StashHandle) {
+  throw std::logic_error("ActivationStore::retrieve_exact: this store does not page layer state");
+}
+
 StashHandle RawStore::stash(const std::string& layer, tensor::Tensor&& act) {
   const StashHandle h = next_++;
   StoreStats& s = stats_[layer];
@@ -47,128 +56,6 @@ tensor::Tensor CodecStore::retrieve(StashHandle handle) {
   held_bytes_ -= it->second.bytes.size();
   entries_.erase(it);
   return t;
-}
-
-// --- AsyncCodecStore --------------------------------------------------------
-
-AsyncCodecStore::AsyncCodecStore(std::shared_ptr<ActivationCodec> codec,
-                                 std::size_t queue_depth)
-    : codec_(std::move(codec)),
-      queue_depth_(queue_depth == 0 ? 1 : queue_depth),
-      worker_([this] { worker_loop(); }) {}
-
-AsyncCodecStore::~AsyncCodecStore() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  work_ready_.notify_all();
-  worker_.join();
-}
-
-void AsyncCodecStore::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;  // drained before shutdown
-      continue;
-    }
-    Pending job = std::move(queue_.front());
-    queue_.pop_front();
-    in_flight_ = true;
-    queue_space_.notify_all();
-
-    // Encode outside the lock: this is the expensive call the pipeline
-    // overlaps with the next layer's forward compute.
-    lock.unlock();
-    EncodedActivation enc;
-    std::exception_ptr err;
-    const std::size_t original = job.raw.bytes();
-    try {
-      enc = codec_->encode(job.layer, job.raw);
-      enc.shape = job.raw.shape();
-      enc.layer = job.layer;
-    } catch (...) {
-      err = std::current_exception();
-    }
-    job.raw = tensor::Tensor();  // free the raw copy before re-locking
-    lock.lock();
-
-    pending_raw_bytes_ -= original;
-    if (err) {
-      failed_.emplace(job.handle, err);
-    } else {
-      StoreStats& s = stats_[job.layer];
-      s.stashed_tensors += 1;
-      s.original_bytes += original;
-      s.stored_bytes += enc.bytes.size();
-      encoded_bytes_ += enc.bytes.size();
-      encoded_.emplace(job.handle, std::move(enc));
-    }
-    in_flight_ = false;
-    encoded_cv_.notify_all();
-  }
-}
-
-StashHandle AsyncCodecStore::stash(const std::string& layer, tensor::Tensor&& act) {
-  std::unique_lock<std::mutex> lock(mu_);
-  queue_space_.wait(lock, [this] { return queue_.size() < queue_depth_; });
-  const StashHandle h = next_++;
-  pending_raw_bytes_ += act.bytes();
-  queue_.push_back(Pending{h, layer, std::move(act)});
-  lock.unlock();
-  work_ready_.notify_one();
-  return h;
-}
-
-tensor::Tensor AsyncCodecStore::retrieve(StashHandle handle) {
-  EncodedActivation enc;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    encoded_cv_.wait(lock, [&] {
-      if (encoded_.count(handle) || failed_.count(handle)) return true;
-      // Still queued or in flight? Keep waiting; anything else is a bug.
-      if (in_flight_) return false;
-      for (const auto& p : queue_) {
-        if (p.handle == handle) return false;
-      }
-      return true;
-    });
-    auto fit = failed_.find(handle);
-    if (fit != failed_.end()) {
-      std::exception_ptr err = fit->second;
-      failed_.erase(fit);
-      std::rethrow_exception(err);
-    }
-    auto it = encoded_.find(handle);
-    if (it == encoded_.end())
-      throw std::logic_error("AsyncCodecStore::retrieve: unknown handle");
-    enc = std::move(it->second);
-    encoded_bytes_ -= enc.bytes.size();
-    encoded_.erase(it);
-  }
-  return codec_->decode(enc);
-}
-
-std::size_t AsyncCodecStore::held_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return encoded_bytes_ + pending_raw_bytes_;
-}
-
-std::map<std::string, StoreStats> AsyncCodecStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-void AsyncCodecStore::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.clear();
-}
-
-void AsyncCodecStore::drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  encoded_cv_.wait(lock, [this] { return queue_.empty() && !in_flight_; });
 }
 
 }  // namespace ebct::nn

@@ -7,16 +7,22 @@
 /// bytes, and the comparison baselines (lossless, JPEG-ACT) keep their own
 /// encodings — all behind the same stash/retrieve contract, so every memory
 /// strategy runs through identical training code.
+///
+/// Two channels share the handle space:
+///  - stash()/retrieve(): the compressible channel (conv inputs — what the
+///    paper lossily compresses). Implementations may transform the tensor.
+///  - stash_exact()/retrieve_exact(): byte-preserving layer state that must
+///    round-trip exactly (batchnorm's normalised activations, pooling argmax
+///    indices, linear/LRN saved inputs). The default keeps it raw in RAM;
+///    the tiered pager (memory/pager.hpp) pages it against the byte budget
+///    without ever routing it through a lossy codec. Layers only divert
+///    their state here when pages_layer_state() says the store wants it, so
+///    the fast member/arena paths stay untouched under the default stores.
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <exception>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +62,23 @@ class ActivationStore {
   /// Per-layer statistics accumulated since the last reset_stats().
   virtual std::map<std::string, StoreStats> stats() const { return {}; }
   virtual void reset_stats() {}
+
+  /// True when the store wants layers to route their byte-exact saved state
+  /// (stash_exact) through it instead of private members — the budgeted
+  /// pager returns true so every saved-for-backward byte is governed by one
+  /// budget. Default stores return false and layers keep their fast paths.
+  virtual bool pages_layer_state() const { return false; }
+
+  /// Byte-preserving channel: the returned tensor is bit-identical to the
+  /// stashed one (safe for bitcast index data). Layers only call these
+  /// when pages_layer_state() is true, so the default (for stores that
+  /// never claim layer state) throws rather than silently hoarding.
+  virtual StashHandle stash_exact(const std::string& layer, tensor::Tensor&& t);
+  virtual tensor::Tensor retrieve_exact(StashHandle handle);
+
+  /// Hint that the consumer is about to replay handles in LIFO order (the
+  /// backward pass); prefetching stores start fetching ahead. Default no-op.
+  virtual void prepare_backward() {}
 };
 
 /// Baseline store: keeps raw tensors (what stock Caffe/TensorFlow do).
@@ -96,6 +119,12 @@ class ActivationCodec {
 
 /// Store that routes activations through an ActivationCodec, holding only the
 /// encoded bytes between forward and backward.
+///
+/// The asynchronous double-buffered variant that used to live here
+/// (AsyncCodecStore, with its dedicated worker thread) is retired: the
+/// tiered pager's PagedStore (memory/pager.hpp) provides the same
+/// off-critical-path encode by submitting tasks to the shared work-stealing
+/// pool, plus budget enforcement and a disk tier on top.
 class CodecStore : public ActivationStore {
  public:
   explicit CodecStore(std::shared_ptr<ActivationCodec> codec) : codec_(std::move(codec)) {}
@@ -114,67 +143,6 @@ class CodecStore : public ActivationStore {
   StashHandle next_ = 1;
   std::size_t held_bytes_ = 0;
   std::map<std::string, StoreStats> stats_;
-};
-
-/// Double-buffered asynchronous codec store: stash() hands the raw tensor to
-/// a background worker and returns immediately, so the forward pass of layer
-/// i overlaps the compression of layer i-1 (the paper's GPU pipeline, ported
-/// to the CPU substrate). A bounded pending queue (default depth 2 = classic
-/// double buffering) applies backpressure: when the compute thread outruns
-/// the compressor it blocks on stash() instead of accumulating raw tensors,
-/// which would defeat the memory budget. retrieve() waits until the worker
-/// has encoded the handle, then decodes — the lossy roundtrip is exactly the
-/// synchronous CodecStore's, just off the critical path.
-class AsyncCodecStore : public ActivationStore {
- public:
-  explicit AsyncCodecStore(std::shared_ptr<ActivationCodec> codec,
-                           std::size_t queue_depth = 2);
-  ~AsyncCodecStore() override;
-
-  AsyncCodecStore(const AsyncCodecStore&) = delete;
-  AsyncCodecStore& operator=(const AsyncCodecStore&) = delete;
-
-  StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
-  tensor::Tensor retrieve(StashHandle handle) override;
-
-  /// Encoded bytes held plus raw bytes still waiting in the pending queue
-  /// (those tensors are alive, so honest accounting includes them).
-  std::size_t held_bytes() const override;
-  std::map<std::string, StoreStats> stats() const override;
-  void reset_stats() override;
-
-  /// Block until every pending stash has been encoded.
-  void drain();
-
-  ActivationCodec& codec() { return *codec_; }
-
- private:
-  struct Pending {
-    StashHandle handle;
-    std::string layer;
-    tensor::Tensor raw;
-  };
-
-  void worker_loop();
-
-  std::shared_ptr<ActivationCodec> codec_;
-  const std::size_t queue_depth_;
-
-  mutable std::mutex mu_;
-  std::condition_variable queue_space_;  ///< signalled when the queue shrinks
-  std::condition_variable work_ready_;   ///< signalled when work arrives/stops
-  std::condition_variable encoded_cv_;   ///< signalled when an encode finishes
-  std::deque<Pending> queue_;
-  bool in_flight_ = false;               ///< worker is encoding right now
-  bool stop_ = false;
-  std::unordered_map<StashHandle, EncodedActivation> encoded_;
-  std::unordered_map<StashHandle, std::exception_ptr> failed_;
-  StashHandle next_ = 1;
-  std::size_t pending_raw_bytes_ = 0;
-  std::size_t encoded_bytes_ = 0;
-  std::map<std::string, StoreStats> stats_;
-
-  std::thread worker_;  ///< started last, joined first
 };
 
 }  // namespace ebct::nn

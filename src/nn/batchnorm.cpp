@@ -35,7 +35,18 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
   const double count = static_cast<double>(n * hw);
 
   Tensor out(in_shape_);
-  float* x_hat = x_hat_.acquire(in_shape_.numel());
+  // When the store pages layer state, x_hat goes through it as a byte-exact
+  // tensor (governed by the memory budget, spillable to disk); otherwise it
+  // stays in the malloc-free scratch arena.
+  const bool paged = store_ != nullptr && store_->pages_layer_state();
+  Tensor x_hat_paged_t;
+  float* x_hat;
+  if (paged) {
+    x_hat_paged_t = Tensor(in_shape_);
+    x_hat = x_hat_paged_t.data();
+  } else {
+    x_hat = x_hat_.acquire(in_shape_.numel());
+  }
   inv_std_.assign(channels_, 0.0f);
 
   // Channels are few (well under the elementwise grain) but each sweeps the
@@ -43,16 +54,25 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
   tensor::parallel_for(channels_, 4 * n * hw, [&](std::size_t c) {
     double mean, var;
     if (train) {
-      double sum = 0.0, sq = 0.0;
+      // Single Welford sweep per channel: mean and M2 accumulate together
+      // in one pass, immune to the cancellation of the old sum/sum-of-
+      // squares formulation when |mean| >> stddev. The element order is a
+      // pure function of the shape (sample-major, index order), so the
+      // statistics are byte-identical at every pool size.
+      double mean_w = 0.0, m2 = 0.0;
+      std::size_t k = 0;
       for (std::size_t s = 0; s < n; ++s) {
         const float* src = input.data() + s * chw + c * hw;
         for (std::size_t i = 0; i < hw; ++i) {
-          sum += src[i];
-          sq += static_cast<double>(src[i]) * src[i];
+          const double x = src[i];
+          ++k;
+          const double d = x - mean_w;
+          mean_w += d / static_cast<double>(k);
+          m2 += d * (x - mean_w);
         }
       }
-      mean = sum / count;
-      var = sq / count - mean * mean;
+      mean = mean_w;
+      var = m2 / count;
       if (var < 0.0) var = 0.0;
       running_mean_[c] = static_cast<float>(momentum_ * running_mean_[c] + (1.0 - momentum_) * mean);
       running_var_[c] = static_cast<float>(momentum_ * running_var_[c] + (1.0 - momentum_) * var);
@@ -74,15 +94,29 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
       }
     }
   });
+  if (paged) {
+    x_hat_handle_ = store_->stash_exact(name_, std::move(x_hat_paged_t));
+    x_hat_paged_ = true;
+  } else {
+    x_hat_paged_ = false;
+  }
   return out;
 }
 
 Tensor BatchNorm::backward(const Tensor& grad_output) {
-  if (!x_hat_.held()) throw std::logic_error(name_ + ": backward without forward");
+  if (!x_hat_paged_ && !x_hat_.held())
+    throw std::logic_error(name_ + ": backward without forward");
   const std::size_t n = in_shape_.n(), hw = in_shape_.h() * in_shape_.w();
   const std::size_t chw = channels_ * hw;
   const double count = static_cast<double>(n * hw);
-  const float* x_hat = x_hat_.data();
+  Tensor x_hat_t;
+  const float* x_hat;
+  if (x_hat_paged_) {
+    x_hat_t = store_->retrieve_exact(x_hat_handle_);
+    x_hat = x_hat_t.data();
+  } else {
+    x_hat = x_hat_.data();
+  }
 
   Tensor grad_input(in_shape_);
   tensor::parallel_for(channels_, 6 * n * hw, [&](std::size_t c) {
@@ -111,7 +145,10 @@ Tensor BatchNorm::backward(const Tensor& grad_output) {
       }
     }
   });
-  x_hat_.release();
+  if (x_hat_paged_)
+    x_hat_paged_ = false;
+  else
+    x_hat_.release();
   return grad_input;
 }
 

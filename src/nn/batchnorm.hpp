@@ -32,13 +32,17 @@ class BatchNorm : public Layer {
   Param beta_;
   std::vector<float> running_mean_;
   std::vector<float> running_var_;
-  // Saved forward state for backward. x_hat lives in the thread-local
-  // scratch arena, not a tracked Tensor: it is pure workspace between a
-  // forward and its backward, so routing it through the arena keeps
-  // steady-state training malloc-free without distorting the activation-
-  // memory accounting. Requires forward/backward to run on one thread (the
-  // training loop), as ScratchHold documents.
+  // Saved forward state for backward. By default x_hat lives in the
+  // thread-local scratch arena, not a tracked Tensor: it is pure workspace
+  // between a forward and its backward, so routing it through the arena
+  // keeps steady-state training malloc-free without distorting the
+  // activation-memory accounting. When the installed store pages layer
+  // state (a budgeted ActivationPager), x_hat is stashed byte-exact through
+  // it instead, so the memory budget governs it too. Either way
+  // forward/backward run on one thread (the training loop).
   tensor::ScratchHold x_hat_;
+  StashHandle x_hat_handle_ = 0;
+  bool x_hat_paged_ = false;
   std::vector<float> inv_std_;
   tensor::Shape in_shape_;
 };

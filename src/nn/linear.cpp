@@ -35,11 +35,24 @@ Tensor Linear::forward(const Tensor& input, bool /*train*/) {
     float* row = out.data() + s * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
   });
-  saved_input_ = input.clone();
+  // The saved input is what the weight gradient needs in backward. Under a
+  // paging store it is stashed byte-exact (budget-governed, spillable);
+  // otherwise it stays a private member as before.
+  if (store_ != nullptr && store_->pages_layer_state()) {
+    saved_handle_ = store_->stash_exact(name_, input.clone());
+    saved_paged_ = true;
+  } else {
+    saved_input_ = input.clone();
+    saved_paged_ = false;
+  }
   return out;
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  if (saved_paged_) {
+    saved_input_ = store_->retrieve_exact(saved_handle_);
+    saved_paged_ = false;
+  }
   const std::size_t n = saved_input_.shape().n();
   // dW[out, in] += L^T[out, N] * x[N, in]
   tensor::gemm_at(grad_output.data(), saved_input_.data(), weight_.grad.data(),

@@ -28,6 +28,8 @@ class Linear : public Layer {
   Param weight_;
   Param bias_;
   tensor::Tensor saved_input_;
+  StashHandle saved_handle_ = 0;  ///< exact-channel stash when the store pages state
+  bool saved_paged_ = false;
 };
 
 }  // namespace ebct::nn

@@ -33,10 +33,26 @@ Tensor Lrn::forward(const Tensor& input, bool /*train*/) {
       out[idx] = static_cast<float>(input[idx] * std::pow(sc, -spec_.beta));
     }
   });
+  // Under a paging store both saved tensors go through the byte-exact
+  // channel so the memory budget governs them; stash order (input, then
+  // scale) is the reverse of backward's retrieve order, keeping the
+  // pager's LIFO prefetch heuristic accurate.
+  if (store_ != nullptr && store_->pages_layer_state()) {
+    saved_handle_ = store_->stash_exact(name_, std::move(saved_input_));
+    scale_handle_ = store_->stash_exact(name_ + ".scale", std::move(scale_));
+    saved_paged_ = true;
+  } else {
+    saved_paged_ = false;
+  }
   return out;
 }
 
 Tensor Lrn::backward(const Tensor& grad_output) {
+  if (saved_paged_) {
+    scale_ = store_->retrieve_exact(scale_handle_);
+    saved_input_ = store_->retrieve_exact(saved_handle_);
+    saved_paged_ = false;
+  }
   const Shape& s = saved_input_.shape();
   Tensor grad(s);
   const std::size_t C = s.c(), hw = s.h() * s.w();

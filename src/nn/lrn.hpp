@@ -28,6 +28,9 @@ class Lrn : public Layer {
   LrnSpec spec_;
   tensor::Tensor saved_input_;
   tensor::Tensor scale_;  // k + alpha/size * window sum of squares
+  StashHandle saved_handle_ = 0;   ///< exact-channel stashes when the store
+  StashHandle scale_handle_ = 0;   ///< pages layer state
+  bool saved_paged_ = false;
 };
 
 }  // namespace ebct::nn

@@ -1,5 +1,6 @@
 #include "nn/pooling.hpp"
 
+#include <cstring>
 #include <limits>
 
 #include "tensor/ops.hpp"
@@ -51,10 +52,28 @@ Tensor MaxPool::forward(const Tensor& input, bool /*train*/) {
       }
     }
   });
+  if (store_ != nullptr && store_->pages_layer_state()) {
+    // Bitcast the index array into float storage: stash_exact preserves
+    // bytes, so the uint32 values survive paging (and disk spill) intact.
+    Tensor idx(tensor::Shape{argmax_.size()});
+    std::memcpy(idx.data(), argmax_.data(), argmax_.size() * sizeof(std::uint32_t));
+    argmax_handle_ = store_->stash_exact(name_, std::move(idx));
+    argmax_paged_ = true;
+    argmax_.clear();
+    argmax_.shrink_to_fit();
+  } else {
+    argmax_paged_ = false;
+  }
   return out;
 }
 
 Tensor MaxPool::backward(const Tensor& grad_output) {
+  if (argmax_paged_) {
+    Tensor idx = store_->retrieve_exact(argmax_handle_);
+    argmax_.resize(idx.numel());
+    std::memcpy(argmax_.data(), idx.data(), idx.numel() * sizeof(std::uint32_t));
+    argmax_paged_ = false;
+  }
   Tensor grad(in_shape_, 0.0f);
   // Pooling windows can overlap when stride < kernel; serial scatter-add.
   for (std::size_t i = 0; i < grad_output.numel(); ++i) {

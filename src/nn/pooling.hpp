@@ -29,6 +29,11 @@ class MaxPool : public Layer {
  private:
   PoolSpec spec_;
   std::vector<std::uint32_t> argmax_;
+  // When the store pages layer state, the argmax indices are stashed
+  // byte-exact through it (bitcast into float storage — the exact channel
+  // never touches the lossy codec, so the bits round-trip).
+  StashHandle argmax_handle_ = 0;
+  bool argmax_paged_ = false;
   tensor::Shape in_shape_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -12,15 +13,15 @@
 
 namespace ebct::tensor::sched {
 
-namespace {
-
 // ---------------------------------------------------------------------------
 // Task representation. A TaskSet is the join object of one parallel call; it
-// lives on the submitting thread's stack for the duration of the call.
-// `remaining` counts indices (not tasks): it reaches zero exactly when every
-// i in [0, n) has been executed, which is the join condition. Workers touch
-// the set strictly before their final fetch_sub, so once the submitter
-// observes zero the set can safely go out of scope.
+// lives on the submitting thread's stack for the duration of the call (or
+// inside a heap AsyncState for async() submissions). `remaining` counts
+// indices (not tasks): it reaches zero exactly when every i in [0, n) has
+// been executed, which is the join condition. Workers touch the set strictly
+// before their final fetch_sub, so once the submitter observes zero the set
+// can safely go out of scope. Namespace-scope (not anonymous) only so the
+// header-declared detail::AsyncState can hold one.
 // ---------------------------------------------------------------------------
 
 struct TaskSet {
@@ -30,6 +31,8 @@ struct TaskSet {
   std::size_t grain;
   bool splittable;  ///< false for capped (max_workers) worker-slot sets
 };
+
+namespace {
 
 /// Capped submission (max_workers = k > 1): the set's tasks are min(k, n)
 /// *worker slots*, not index ranges — each slot pulls indices one at a time
@@ -223,6 +226,105 @@ Slot* this_thread_slot() {
 }
 
 // ---------------------------------------------------------------------------
+// Wake machinery + steal-latency histogram. File-scope (not Scheduler
+// members) because the task-execution protocol is shared by three call
+// sites — the workers, run()'s join loop and Future::wait()'s help loop —
+// and the last runs on arbitrary external threads.
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_signal{0};
+std::atomic<int> g_sleepers{0};
+std::mutex g_wake_mu;
+std::condition_variable g_wake_cv;
+
+/// Wake sleeping workers. The signal bump is unconditional and ordered
+/// before the sleeper check (see worker_main for the pairing argument).
+void notify_workers() {
+  g_signal.fetch_add(1, std::memory_order_seq_cst);
+  if (g_sleepers.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(g_wake_mu);
+    g_wake_cv.notify_all();
+  }
+}
+
+std::atomic<std::uint64_t> g_steal_count{0};
+std::atomic<std::uint64_t> g_steal_hist[StealStats::kBuckets];
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void record_steal_latency(std::uint64_t ns) {
+  std::size_t idx = 0;
+  while (ns > 1 && idx + 1 < StealStats::kBuckets) {
+    ns >>= 1;
+    ++idx;
+  }
+  g_steal_hist[idx].fetch_add(1, std::memory_order_relaxed);
+  g_steal_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Tracks one thread's idle episode: armed at the first failed acquisition
+/// attempt, recorded into the histogram when a steal ends it. Clock reads
+/// happen only on those two transitions, never per successful pop, so the
+/// hot path is untouched.
+struct IdleEpisode {
+  std::uint64_t since = 0;
+  void miss() {
+    if (since == 0) since = now_ns();
+  }
+  void found_local() { since = 0; }
+  void found_steal() {
+    // First-attempt steals never armed the clock: count them as latency 0
+    // (bucket 0) so the histogram's total matches the steal count without
+    // a clock read on the hot path.
+    record_steal_latency(since != 0 ? now_ns() - since : 0);
+    since = 0;
+  }
+};
+
+bool try_steal(Slot* self, Task& out) {
+  // Rotating start index decorrelates victims across thieves.
+  thread_local unsigned rot =
+      static_cast<unsigned>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  rot = rot * 1664525u + 1013904223u;
+  const unsigned start = rot % kMaxSlots;
+  for (unsigned i = 0; i < kMaxSlots; ++i) {
+    Slot* victim = &g_slots[(start + i) % kMaxSlots];
+    if (victim == self) continue;
+    if (deque_steal(*victim, out)) return true;
+  }
+  return false;
+}
+
+/// Execute a range task, splitting off the upper half for thieves while
+/// the range still exceeds the set's grain (help-first: publish before
+/// compute). The final fetch_sub is the worker's last touch of the set.
+/// noexcept on purpose: a body that throws mid-set would unwind the
+/// submitter's stack-resident TaskSet under running workers; terminating
+/// instead matches the OpenMP-parallel-region semantics this scheduler
+/// replaced (the serial path in run() still propagates normally; async()
+/// bodies catch into their AsyncState before reaching here).
+void execute(const Task& t, Slot* slot) noexcept {
+  TaskSet* s = t.set;
+  std::size_t b = t.begin;
+  std::size_t e = t.end;
+  if (s->splittable && slot != nullptr) {
+    while (e - b > s->grain) {
+      const std::size_t mid = b + (e - b) / 2;
+      if (!deque_push(*slot, {s, mid, e})) break;
+      notify_workers();
+      e = mid;
+    }
+  }
+  s->body(s->ctx, b, e);
+  s->remaining.fetch_sub(e - b, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler: worker lifecycle + the submit/join protocol.
 // ---------------------------------------------------------------------------
 
@@ -279,7 +381,7 @@ class Scheduler {
       };
       for (std::size_t p = 1; p < parts; ++p) {
         if (deque_push(*slot, {&set, p, p + 1})) {
-          notify();
+          notify_workers();
         } else {
           run_slot();
         }
@@ -288,7 +390,7 @@ class Scheduler {
     } else if (deque_push(*slot, {&set, 0, n})) {
       // Publish the whole range; the join loop below pops it straight back
       // and execute() fans it out (help-first), racing the woken workers.
-      notify();
+      notify_workers();
     } else {
       body(ctx, 0, n);
       return;
@@ -299,10 +401,16 @@ class Scheduler {
     // them here is what lets nested levels share one pool without anyone
     // blocking. A joining thread never sleeps.
     Task t;
+    IdleEpisode idle;
     while (set.remaining.load(std::memory_order_acquire) != 0) {
-      if (deque_pop(*slot, t) || try_steal(slot, t)) {
+      if (deque_pop(*slot, t)) {
+        idle.found_local();
+        execute(t, slot);
+      } else if (try_steal(slot, t)) {
+        idle.found_steal();
         execute(t, slot);
       } else {
+        idle.miss();
         std::this_thread::yield();
       }
     }
@@ -334,9 +442,9 @@ class Scheduler {
   void stop_workers() {
     stop_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lk(mu_);
-      signal_.fetch_add(1, std::memory_order_release);
-      cv_.notify_all();
+      std::lock_guard<std::mutex> lk(g_wake_mu);
+      g_signal.fetch_add(1, std::memory_order_release);
+      g_wake_cv.notify_all();
     }
     for (auto& w : workers_) w.join();
     workers_.clear();
@@ -345,89 +453,50 @@ class Scheduler {
 
   void worker_main() {
     Slot* slot = this_thread_slot();
+    IdleEpisode idle;
     while (!stop_.load(std::memory_order_acquire)) {
       // `seen` is recorded before the scan: a task pushed after this load
       // bumps the signal past `seen` and the sleep predicate fails, so the
       // push is never missed. A task pushed before it is visible to the
       // scan (the signal bump's release pairs with this acquire).
-      const std::uint64_t seen = signal_.load(std::memory_order_acquire);
+      const std::uint64_t seen = g_signal.load(std::memory_order_acquire);
       bool found = false;
       Task t;
       for (int spin = 0; spin < 64; ++spin) {
-        if ((slot != nullptr && deque_pop(*slot, t)) || try_steal(slot, t)) {
+        if (slot != nullptr && deque_pop(*slot, t)) {
+          idle.found_local();
           execute(t, slot);
           found = true;
           break;
         }
+        if (try_steal(slot, t)) {
+          idle.found_steal();
+          execute(t, slot);
+          found = true;
+          break;
+        }
+        idle.miss();
         std::this_thread::yield();
       }
       if (found) continue;
-      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      // Sleeping is idleness, not scan latency: drop the episode so the
+      // histogram reflects responsiveness under load only.
+      idle.found_local();
+      g_sleepers.fetch_add(1, std::memory_order_seq_cst);
       {
-        std::unique_lock<std::mutex> lk(mu_);
-        cv_.wait(lk, [&] {
+        std::unique_lock<std::mutex> lk(g_wake_mu);
+        g_wake_cv.wait(lk, [&] {
           return stop_.load(std::memory_order_relaxed) ||
-                 signal_.load(std::memory_order_relaxed) != seen;
+                 g_signal.load(std::memory_order_relaxed) != seen;
         });
       }
-      sleepers_.fetch_sub(1, std::memory_order_relaxed);
-    }
-  }
-
-  /// Execute a range task, splitting off the upper half for thieves while
-  /// the range still exceeds the set's grain (help-first: publish before
-  /// compute). The final fetch_sub is the worker's last touch of the set.
-  /// noexcept on purpose: a body that throws mid-set would unwind the
-  /// submitter's stack-resident TaskSet under running workers; terminating
-  /// instead matches the OpenMP-parallel-region semantics this scheduler
-  /// replaced (the serial path in run() still propagates normally).
-  void execute(const Task& t, Slot* slot) noexcept {
-    TaskSet* s = t.set;
-    std::size_t b = t.begin;
-    std::size_t e = t.end;
-    if (s->splittable && slot != nullptr) {
-      while (e - b > s->grain) {
-        const std::size_t mid = b + (e - b) / 2;
-        if (!deque_push(*slot, {s, mid, e})) break;
-        notify();
-        e = mid;
-      }
-    }
-    s->body(s->ctx, b, e);
-    s->remaining.fetch_sub(e - b, std::memory_order_release);
-  }
-
-  bool try_steal(Slot* self, Task& out) {
-    // Rotating start index decorrelates victims across thieves.
-    thread_local unsigned rot =
-        static_cast<unsigned>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
-    rot = rot * 1664525u + 1013904223u;
-    const unsigned start = rot % kMaxSlots;
-    for (unsigned i = 0; i < kMaxSlots; ++i) {
-      Slot* victim = &g_slots[(start + i) % kMaxSlots];
-      if (victim == self) continue;
-      if (deque_steal(*victim, out)) return true;
-    }
-    return false;
-  }
-
-  /// Wake sleeping workers. The signal bump is unconditional and ordered
-  /// before the sleeper check (see worker_main for the pairing argument).
-  void notify() {
-    signal_.fetch_add(1, std::memory_order_seq_cst);
-    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
-      std::lock_guard<std::mutex> lk(mu_);
-      cv_.notify_all();
+      g_sleepers.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 
   std::vector<std::thread> workers_;
   std::atomic<int> threads_{1};
   std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> signal_{0};
-  std::atomic<int> sleepers_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
   std::mutex config_mu_;
 };
 
@@ -436,6 +505,134 @@ class Scheduler {
 int num_threads() { return Scheduler::instance().threads(); }
 
 void set_num_threads(int n) { Scheduler::instance().set_threads(n); }
+
+// ---------------------------------------------------------------------------
+// async(): one fire-and-forget task on the pool, joined through a Future.
+// The state is heap-shared because the executing worker's last touch of the
+// TaskSet (the remaining fetch_sub in execute()) happens *after* the body
+// returns — the submitter must keep the set alive until it observes zero.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+struct AsyncState {
+  std::function<void()> fn;
+  std::exception_ptr error;  ///< written before remaining's release decrement
+  TaskSet set;
+};
+}  // namespace detail
+
+namespace {
+void run_async_body(void* ctx, std::size_t, std::size_t) {
+  auto* st = static_cast<detail::AsyncState*>(ctx);
+  try {
+    st->fn();
+  } catch (...) {
+    st->error = std::current_exception();
+  }
+}
+}  // namespace
+
+Future async(std::function<void()> fn) {
+  auto st = std::make_shared<detail::AsyncState>();
+  st->fn = std::move(fn);
+  st->set.body = run_async_body;
+  st->set.ctx = st.get();
+  st->set.remaining.store(1, std::memory_order_relaxed);
+  st->set.grain = 1;
+  st->set.splittable = false;
+  Slot* slot = Scheduler::instance().threads() > 1 ? this_thread_slot() : nullptr;
+  if (slot != nullptr && deque_push(*slot, {&st->set, 0, 1})) {
+    notify_workers();
+  } else {
+    // Single-threaded pool, no free slot, or a full deque: run inline. The
+    // Future is already constructed-compatible — just mark it done.
+    run_async_body(st.get(), 0, 1);
+    st->set.remaining.store(0, std::memory_order_release);
+  }
+  return Future(std::move(st));
+}
+
+Future& Future::operator=(Future&& o) noexcept {
+  if (this != &o) {
+    if (state_ != nullptr) {
+      try {
+        wait();
+      } catch (...) {
+        // Overwritten before observation: the exception has no consumer.
+      }
+    }
+    state_ = std::move(o.state_);
+  }
+  return *this;
+}
+
+Future::~Future() {
+  if (state_ != nullptr) {
+    try {
+      wait();
+    } catch (...) {
+      // Destructor join, like std::jthread: the exception has no consumer.
+    }
+  }
+}
+
+bool Future::ready() const {
+  return state_ != nullptr &&
+         state_->set.remaining.load(std::memory_order_acquire) == 0;
+}
+
+void Future::wait() {
+  if (state_ == nullptr) return;
+  detail::AsyncState* st = state_.get();
+  Slot* slot = this_thread_slot();  // may be null under extreme slot pressure
+  Task t;
+  IdleEpisode idle;
+  while (st->set.remaining.load(std::memory_order_acquire) != 0) {
+    if (slot != nullptr && deque_pop(*slot, t)) {
+      idle.found_local();
+      execute(t, slot);
+    } else if (try_steal(slot, t)) {
+      idle.found_steal();
+      execute(t, slot);
+    } else {
+      idle.miss();
+      std::this_thread::yield();
+    }
+  }
+  std::shared_ptr<detail::AsyncState> done = std::move(state_);
+  if (done->error) std::rethrow_exception(done->error);
+}
+
+void help_while(const std::function<bool()>& done) {
+  Slot* slot = this_thread_slot();
+  Task t;
+  IdleEpisode idle;
+  while (!done()) {
+    if (slot != nullptr && deque_pop(*slot, t)) {
+      idle.found_local();
+      execute(t, slot);
+    } else if (try_steal(slot, t)) {
+      idle.found_steal();
+      execute(t, slot);
+    } else {
+      idle.miss();
+      std::this_thread::yield();
+    }
+  }
+}
+
+StealStats steal_stats() {
+  StealStats s;
+  s.recorded = g_steal_count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < StealStats::kBuckets; ++i)
+    s.bucket[i] = g_steal_hist[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_steal_stats() {
+  g_steal_count.store(0, std::memory_order_relaxed);
+  for (auto& b : g_steal_hist) b.store(0, std::memory_order_relaxed);
+}
 
 namespace detail {
 void run_range(std::size_t n, std::size_t grain, unsigned max_workers,

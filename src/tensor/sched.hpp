@@ -32,7 +32,10 @@
 /// parallel work is in flight. Per-call caps (sz::Config::num_threads)
 /// arrive through the `max_workers` argument.
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <type_traits>
 
@@ -47,6 +50,85 @@ int num_threads();
 /// intended for tests, benchmarks and process-level configuration, not
 /// per-call throttling (use `max_workers` for that).
 void set_num_threads(int n);
+
+namespace detail {
+struct AsyncState;  // defined in sched.cpp; carries one fire-and-forget task
+}  // namespace detail
+
+/// Handle to a single task submitted with async(). Join semantics mirror
+/// std::thread: a valid Future must be waited before destruction (the
+/// destructor waits, swallowing any task exception; call wait() yourself to
+/// observe it). wait() does not block idle — like the scheduler's join loop
+/// it helps execute queued tasks (its own deque first, then steals), so
+/// waiting inside a parallel region cannot deadlock the pool.
+class Future {
+ public:
+  Future() = default;
+  Future(Future&& o) noexcept : state_(std::move(o.state_)) {}
+  Future& operator=(Future&& o) noexcept;
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+  ~Future();
+
+  bool valid() const { return state_ != nullptr; }
+  /// True when the task has finished (valid futures only).
+  bool ready() const;
+  /// Block (helping the pool) until the task finishes; rethrows the task's
+  /// exception if it threw, then releases the state (valid() becomes false).
+  void wait();
+
+ private:
+  friend Future async(std::function<void()> fn);
+  explicit Future(std::shared_ptr<detail::AsyncState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::AsyncState> state_;
+};
+
+/// Submit `fn` as one task on the shared pool and return its Future. The
+/// task may run on any worker (or inline, when the pool has one thread or
+/// the submitter's deque is full) and must not assume a particular thread.
+/// Exceptions thrown by `fn` are captured and rethrown from wait().
+/// Do not call while holding a lock the task body also takes: on a
+/// single-thread pool the body runs inline, inside this call.
+[[nodiscard]] Future async(std::function<void()> fn);
+
+/// Execute queued pool tasks (own deque first, then steals) until `done()`
+/// returns true, yielding when no task is available. This is how code
+/// blocked on an async side effect (an encode landing, a prefetch
+/// installing) waits without idling a core or deadlocking a one-thread
+/// pool. `done` is re-evaluated between task executions and must be safe
+/// to call repeatedly from this thread; it alone must detect completion
+/// (typically via an atomic published by the task).
+void help_while(const std::function<bool()>& done);
+
+/// Steal-latency histogram: how long threads that went looking for work
+/// scanned before a successful steal. Latency is measured from the first
+/// failed pop/steal attempt of an idle episode to the steal that ended it;
+/// a steal that lands on the first attempt counts as latency 0 (bucket 0),
+/// and time spent sleeping (empty pool) is excluded — the numbers reflect
+/// wake-to-work responsiveness under load, not idleness. Bucket i counts
+/// steals with latency in [2^i, 2^(i+1)) ns.
+struct StealStats {
+  static constexpr std::size_t kBuckets = 26;
+  std::uint64_t recorded = 0;                      ///< episodes ending in a steal
+  std::array<std::uint64_t, kBuckets> bucket{};    ///< log2-ns latency histogram
+
+  /// Upper bound (ns) of the bucket where the cumulative count first
+  /// reaches fraction `p` of `recorded`; 0 when nothing was recorded.
+  double percentile_ns(double p) const {
+    if (recorded == 0) return 0.0;
+    const double target = p * static_cast<double>(recorded);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cum += static_cast<double>(bucket[i]);
+      if (cum >= target) return static_cast<double>(std::uint64_t{1} << (i + 1));
+    }
+    return static_cast<double>(std::uint64_t{1} << kBuckets);
+  }
+};
+
+/// Snapshot / reset of the process-wide steal histogram (all threads).
+StealStats steal_stats();
+void reset_steal_stats();
 
 namespace detail {
 /// Type-erased core. Executes body(ctx, begin, end) over disjoint

@@ -8,6 +8,7 @@
 #include "core/error_model.hpp"
 #include "core/gradient_assessor.hpp"
 #include "core/sz_codec.hpp"
+#include "memory/pager.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/network.hpp"
 #include "stats/distribution.hpp"
@@ -154,8 +155,16 @@ TEST(SzCodecTest, PerLayerBoundsIndependent) {
   EXPECT_LT(loose.bytes.size(), tight.bytes.size());
 }
 
-// --- AsyncCodecStore: the double-buffered pipeline must be observationally
-// --- equivalent to the synchronous CodecStore, just off the critical path.
+// --- PagedStore's async-encode pipeline (the retired AsyncCodecStore's
+// --- double buffering, folded onto the work-stealing pool) must be
+// --- observationally equivalent to the synchronous CodecStore.
+
+memory::PagerConfig async_pager_cfg(std::size_t window = 2) {
+  memory::PagerConfig pc;
+  pc.async_encode = true;
+  pc.encode_window = window;
+  return pc;
+}
 
 TEST(AsyncStoreTest, RoundtripMatchesSynchronousStore) {
   sz::Config cfg;
@@ -163,7 +172,7 @@ TEST(AsyncStoreTest, RoundtripMatchesSynchronousStore) {
   auto codec_sync = std::make_shared<SzActivationCodec>(cfg);
   auto codec_async = std::make_shared<SzActivationCodec>(cfg);
   nn::CodecStore sync(codec_sync);
-  nn::AsyncCodecStore async(codec_async);
+  memory::PagedStore async(async_pager_cfg(), codec_async);
 
   std::vector<nn::StashHandle> hs, ha;
   for (int i = 0; i < 6; ++i) {
@@ -186,7 +195,7 @@ TEST(AsyncStoreTest, RoundtripMatchesSynchronousStore) {
 TEST(AsyncStoreTest, StatsAggregateAfterDrain) {
   sz::Config cfg;
   cfg.error_bound = 1e-3;
-  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg));
+  memory::PagedStore store(async_pager_cfg(), std::make_shared<SzActivationCodec>(cfg));
   const auto h1 = store.stash("a", testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 910, 0.5));
   const auto h2 = store.stash("a", testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 911, 0.5));
   store.drain();
@@ -203,11 +212,11 @@ TEST(AsyncStoreTest, StatsAggregateAfterDrain) {
 }
 
 TEST(AsyncStoreTest, BackpressureBoundsPendingRawBytes) {
-  // With queue depth 1 at most one raw tensor waits while one is encoded, so
+  // With encode window 1 at most one raw tensor awaits encode at a time, so
   // held_bytes never exceeds raw(2 tensors) + encoded(everything else).
   sz::Config cfg;
   cfg.error_bound = 1e-2;
-  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg), 1);
+  memory::PagedStore store(async_pager_cfg(1), std::make_shared<SzActivationCodec>(cfg));
   const std::size_t raw = 4 * 32 * 32 * sizeof(float);
   std::vector<nn::StashHandle> handles;
   for (int i = 0; i < 8; ++i) {
@@ -223,7 +232,7 @@ TEST(AsyncStoreTest, BackpressureBoundsPendingRawBytes) {
 
 TEST(AsyncStoreTest, UnknownHandleThrows) {
   sz::Config cfg;
-  nn::AsyncCodecStore store(std::make_shared<SzActivationCodec>(cfg));
+  memory::PagedStore store(async_pager_cfg(), std::make_shared<SzActivationCodec>(cfg));
   EXPECT_THROW(store.retrieve(12345), std::logic_error);
 }
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -127,6 +128,82 @@ TEST_F(SchedStress, ExternalThreadsCanSubmitConcurrently) {
   for (std::size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(hits_a[i].load(), 1);
     ASSERT_EQ(hits_b[i].load(), 1);
+  }
+}
+
+TEST_F(SchedThreads, AsyncTaskRunsAndFutureJoins) {
+  for (int threads : {1, 2, 4}) {
+    sched::set_num_threads(threads);
+    std::atomic<int> ran{0};
+    sched::Future f = sched::async([&] { ran.fetch_add(1); });
+    f.wait();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_FALSE(f.valid());  // wait releases the state
+  }
+}
+
+TEST_F(SchedThreads, AsyncExceptionRethrownFromWait) {
+  sched::set_num_threads(2);
+  sched::Future f = sched::async([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.wait(), std::runtime_error);
+}
+
+TEST_F(SchedThreads, AsyncDestructorJoinsWithoutObservation) {
+  sched::set_num_threads(2);
+  std::atomic<int> ran{0};
+  {
+    sched::Future f = sched::async([&] { ran.fetch_add(1); });
+    // dropped without wait(): the destructor must join, not detach
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(SchedThreads, HelpWhileExecutesPendingAsyncWork) {
+  // On a one-thread pool the only way an async task submitted earlier runs
+  // is that the waiter helps: help_while must execute it, not spin.
+  sched::set_num_threads(1);
+  std::atomic<bool> done{false};
+  sched::Future f = sched::async([&] { done.store(true, std::memory_order_release); });
+  sched::help_while([&] { return done.load(std::memory_order_acquire); });
+  EXPECT_TRUE(done.load());
+  f.wait();
+}
+
+TEST_F(SchedThreads, ManyAsyncTasksAllComplete) {
+  for (int threads : {1, 4}) {
+    sched::set_num_threads(threads);
+    std::atomic<int> ran{0};
+    std::vector<sched::Future> fs;
+    for (int i = 0; i < 64; ++i) fs.push_back(sched::async([&] { ran.fetch_add(1); }));
+    for (auto& f : fs) f.wait();
+    EXPECT_EQ(ran.load(), 64);
+  }
+}
+
+TEST_F(SchedStress, StealStatsRecordUnderContention) {
+  sched::set_num_threads(4);
+  sched::reset_steal_stats();
+  const auto empty = sched::steal_stats();
+  EXPECT_EQ(empty.recorded, 0u);
+  // Steal-heavy fork/join: grain 1 floods the submitter's deque, and each
+  // index carries enough work that the pool workers wake and live off
+  // steals before the submitter drains the range alone.
+  std::atomic<std::size_t> sink{0};
+  for (int round = 0; round < 20; ++round) {
+    sched::parallel_indices(2000, 1, 0, [&](std::size_t i) {
+      std::size_t acc = i;
+      for (int k = 0; k < 2000; ++k) acc = acc * 1664525u + 1013904223u;
+      sink.fetch_add(acc, std::memory_order_relaxed);
+    });
+  }
+  const auto s = sched::steal_stats();
+  if (sched::num_threads() > 1) {
+    EXPECT_GT(s.recorded, 0u);
+    std::uint64_t total = 0;
+    for (const auto b : s.bucket) total += b;
+    EXPECT_EQ(total, s.recorded);
+    EXPECT_GT(s.percentile_ns(0.5), 0.0);
+    EXPECT_LE(s.percentile_ns(0.5), s.percentile_ns(0.99));
   }
 }
 
