@@ -37,7 +37,7 @@ RunResult run_framework(std::size_t w, double fixed_eb, std::size_t iters) {
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, 16, true, true, 9);
   core::SessionConfig cfg;
-  cfg.mode = core::StoreMode::kFramework;
+  cfg.framework.codec = "sz";
   cfg.base_lr = 0.05;
   if (fixed_eb > 0.0) {
     // Disable adaptivity: never refresh, bootstrap bound = the fixed eb.

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "core/codec_registry.hpp"
 #include "core/hybrid_store.hpp"
 #include "core/session.hpp"
 #include "data/synthetic.hpp"
@@ -34,7 +35,7 @@ HybridOutcome run_with_policy(std::size_t raw_below, std::size_t migrate_above) 
   mcfg.seed = 77;
   auto net = models::make_resnet50(mcfg);
 
-  auto codec = std::make_shared<core::SzActivationCodec>(sz::Config{});
+  auto codec = core::CodecRegistry::instance().create("sz:eb=1e-3");
   auto policy = std::make_shared<core::SizeThresholdPolicy>(raw_below, migrate_above);
   core::HybridStore store(codec, policy);
   net->set_store(&store);
@@ -46,7 +47,7 @@ HybridOutcome run_with_policy(std::size_t raw_below, std::size_t migrate_above) 
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, 16, true, true, 6);
   core::SessionConfig cfg;
-  cfg.mode = core::StoreMode::kCustom;
+  cfg.framework.codec = "custom";
   core::TrainingSession session(*net, loader, cfg);
   session.set_custom_store(&store);
 
@@ -79,6 +80,7 @@ int main() {
       {"hybrid + migrate >512KB", 192 * 1024, 512 * 1024},
   };
 
+  bench::JsonReporter report("ablation_hybrid");
   memory::Table table({"policy", "s/iter", "peak device stash", "cum. migration cost"});
   double raw_time = 0.0;
   for (const auto& c : cases) {
@@ -88,6 +90,11 @@ int main() {
                                        100.0 * (r.step_seconds - raw_time) / raw_time),
                    memory::human_bytes(r.peak_device_bytes),
                    memory::fmt("%.1f ms", 1e3 * r.migration_seconds)});
+    report.add(c.name,
+               {{"step_seconds", r.step_seconds},
+                {"peak_device_bytes", static_cast<double>(r.peak_device_bytes)},
+                {"peak_host_bytes", static_cast<double>(r.peak_host_bytes)},
+                {"migration_seconds", r.migration_seconds}});
   }
   table.print();
 

@@ -38,7 +38,7 @@ int main() {
   auto net_base = make_net();
   data::DataLoader loader_a(ds, 16, true, true, 71);
   core::SessionConfig base_cfg;
-  base_cfg.mode = core::StoreMode::kBaseline;
+  base_cfg.framework.codec = "none";
   base_cfg.base_lr = 0.05;
   core::TrainingSession base(*net_base, loader_a, base_cfg);
   base.run(kIters);
@@ -47,7 +47,7 @@ int main() {
   auto net_fw = make_net();
   data::DataLoader loader_b(ds, 16, true, true, 71);
   core::SessionConfig fw_cfg;
-  fw_cfg.mode = core::StoreMode::kFramework;
+  fw_cfg.framework.codec = "sz";
   fw_cfg.framework.active_factor_w = 20;
   fw_cfg.base_lr = 0.05;
   core::TrainingSession fw(*net_fw, loader_b, fw_cfg);

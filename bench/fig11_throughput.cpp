@@ -26,7 +26,7 @@ using namespace ebct;
 
 namespace {
 
-double step_seconds(core::StoreMode mode, std::size_t batch, bool async = false) {
+double step_seconds(const std::string& codec, std::size_t batch, bool async = false) {
   models::ModelConfig mcfg;
   mcfg.input_hw = 16;
   mcfg.num_classes = 4;
@@ -41,7 +41,7 @@ double step_seconds(core::StoreMode mode, std::size_t batch, bool async = false)
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, batch, true, true, 3);
   core::SessionConfig cfg;
-  cfg.mode = mode;
+  cfg.framework.codec = codec;
   cfg.framework.active_factor_w = 50;
   cfg.framework.async_compression = async;
   core::TrainingSession session(*net, loader, cfg);
@@ -96,9 +96,9 @@ void compressor_throughput_section() {
 
 void async_store_section() {
   std::puts("--- activation store pipelining (ResNet-50 scaled, batch 16) ---");
-  const double sync_s = step_seconds(core::StoreMode::kFramework, 16, false);
-  const double async_s = step_seconds(core::StoreMode::kFramework, 16, true);
-  const double base_s = step_seconds(core::StoreMode::kBaseline, 16, false);
+  const double sync_s = step_seconds("sz", 16, false);
+  const double async_s = step_seconds("sz", 16, true);
+  const double base_s = step_seconds("none", 16, false);
   memory::Table t({"store", "step ms", "overhead vs raw"});
   t.add_row({"raw baseline", memory::fmt("%.1f", base_s * 1e3), "--"});
   t.add_row({"framework sync", memory::fmt("%.1f", sync_s * 1e3),
@@ -125,10 +125,10 @@ int main() {
     // Alternate the measurement order and keep the best of two rounds per
     // configuration: heap/page warm-up otherwise biases whichever store is
     // measured first, which at small batches can exceed the real overhead.
-    double tb = step_seconds(core::StoreMode::kBaseline, n);
-    double tf = step_seconds(core::StoreMode::kFramework, n);
-    tf = std::min(tf, step_seconds(core::StoreMode::kFramework, n));
-    tb = std::min(tb, step_seconds(core::StoreMode::kBaseline, n));
+    double tb = step_seconds("none", n);
+    double tf = step_seconds("sz", n);
+    tf = std::min(tf, step_seconds("sz", n));
+    tb = std::min(tb, step_seconds("none", n));
     meas.add_row({memory::fmt("%zu", n), memory::fmt("%.1f", n / tb),
                   memory::fmt("%.1f", n / tf), memory::fmt("%.0f%%", 100.0 * (tf - tb) / tb)});
     report.add("step_batch_" + std::to_string(n),

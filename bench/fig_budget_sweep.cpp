@@ -68,7 +68,7 @@ SweepPoint train(std::size_t budget, std::size_t iterations, bool async_encode,
   data::DataLoader loader(ds, 16, true, true, 27);
 
   core::SessionConfig cfg;
-  cfg.mode = core::StoreMode::kFramework;
+  // codec: FrameworkConfig default ("sz"), or whatever EBCT_CODEC selects.
   cfg.framework.active_factor_w = 10;
   cfg.framework.memory_budget_bytes = budget;
   cfg.framework.async_compression = async_encode;

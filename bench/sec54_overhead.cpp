@@ -22,7 +22,7 @@ struct StepStats {
   double ratio = 0.0;
 };
 
-StepStats measure(core::StoreMode mode, std::size_t batch, const std::string& model) {
+StepStats measure(const std::string& codec, std::size_t batch, const std::string& model) {
   models::ModelConfig mcfg;
   mcfg.input_hw = 16;
   mcfg.num_classes = 4;
@@ -37,7 +37,7 @@ StepStats measure(core::StoreMode mode, std::size_t batch, const std::string& mo
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, batch, true, true, 4);
   core::SessionConfig cfg;
-  cfg.mode = mode;
+  cfg.framework.codec = codec;
   cfg.framework.active_factor_w = 50;
   core::TrainingSession session(*net, loader, cfg);
   session.run(2);
@@ -56,8 +56,8 @@ int main() {
                        "overhead", "conv ratio"});
   for (const auto& model : {std::string("VGG-16"), std::string("ResNet-18")}) {
     for (const std::size_t batch : {8u, 32u}) {
-      const auto b = measure(core::StoreMode::kBaseline, batch, model);
-      const auto f = measure(core::StoreMode::kFramework, batch, model);
+      const auto b = measure("none", batch, model);
+      const auto f = measure("sz", batch, model);
       table.add_row({model, memory::fmt("%zu", batch), memory::fmt("%.3f", b.seconds),
                      memory::fmt("%.3f", f.seconds),
                      memory::fmt("%.0f%%", 100.0 * (f.seconds - b.seconds) / b.seconds),
@@ -70,10 +70,10 @@ int main() {
   // per-image compute grows slightly sublinearly; growing the batch into
   // the freed memory dilutes fixed costs (the paper's 17% -> 7% on VGG-16
   // when going from batch 32 to 256).
-  const auto b8 = measure(core::StoreMode::kBaseline, 8, "VGG-16");
-  const auto f8 = measure(core::StoreMode::kFramework, 8, "VGG-16");
-  const auto b32 = measure(core::StoreMode::kBaseline, 32, "VGG-16");
-  const auto f32 = measure(core::StoreMode::kFramework, 32, "VGG-16");
+  const auto b8 = measure("none", 8, "VGG-16");
+  const auto f8 = measure("sz", 8, "VGG-16");
+  const auto b32 = measure("none", 32, "VGG-16");
+  const auto f32 = measure("sz", 32, "VGG-16");
   std::printf("\nVGG-16 throughput, images/s: baseline b8 %.1f | framework b8 %.1f |"
               " baseline b32 %.1f | framework b32 %.1f\n",
               8 / b8.seconds, 8 / f8.seconds, 32 / b32.seconds, 32 / f32.seconds);

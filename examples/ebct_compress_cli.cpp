@@ -1,11 +1,19 @@
 // Command-line compressor for raw float32 files — the standalone face of
-// the SZ engine, usable on any binary dump of floats (activation snapshots,
-// simulation output, ...).
+// the compression engines, usable on any binary dump of floats (activation
+// snapshots, simulation output, ...).
 //
 // Usage:
 //   ebct_compress_cli c <in.f32> <out.ebct> [abs_error_bound] [zero_mode]
+//   ebct_compress_cli c <in.f32> <out.ebct> --codec=<name[:params]>
 //   ebct_compress_cli d <in.ebct> <out.f32>
+//   ebct_compress_cli --help          (lists the registered codecs)
 // zero_mode in {none, rezero, rle}; default rezero (the paper's filter).
+//
+// Without --codec the output is the raw self-describing SZ stream
+// (byte-compatible with earlier releases). With --codec the bytes of any
+// registry codec are wrapped in a small container that records the spec,
+// so `d` can rebuild the identical codec — JPEG-ACT, for instance, needs
+// its quality to dequantize.
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,11 +21,17 @@
 #include <string>
 #include <vector>
 
+#include "core/codec_registry.hpp"
 #include "sz/compressor.hpp"
+#include "tensor/tensor.hpp"
 
 using namespace ebct;
 
 namespace {
+
+// Container layout: "EBCC" | u32 spec length | spec bytes | u64 numel |
+// codec payload. Legacy SZ streams never start with "EBCC".
+constexpr char kMagic[4] = {'E', 'B', 'C', 'C'};
 
 std::vector<std::uint8_t> read_file(const char* path) {
   std::FILE* f = std::fopen(path, "rb");
@@ -46,46 +60,133 @@ void write_file(const char* path, const void* data, std::size_t size) {
   std::fclose(f);
 }
 
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n  %s c <in.f32> <out.ebct> [eb=1e-3] [none|rezero|rle]\n"
+               "  %s c <in.f32> <out.ebct> --codec=<name[:params]>\n"
+               "  %s d <in.ebct> <out.f32>\n\nregistered codecs:\n",
+               argv0, argv0, argv0);
+  for (const auto& info : core::CodecRegistry::instance().list()) {
+    std::fprintf(stderr, "  %-10s %s%s%s\n", info.name.c_str(), info.summary.c_str(),
+                 info.params_help.empty() ? "" : "  params: ",
+                 info.params_help.c_str());
+  }
+}
+
+int run(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr,
-                 "usage:\n  %s c <in.f32> <out.ebct> [eb=1e-3] [none|rezero|rle]\n"
-                 "  %s d <in.ebct> <out.f32>\n",
-                 argv[0], argv[0]);
+  // Registry/codec errors (typo'd --codec spec, bad parameters, corrupt
+  // container) are invalid_argument/runtime_error throws — turn them into
+  // a message + nonzero exit instead of a terminate() abort.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+int run(int argc, char** argv) {
+  std::string codec_spec;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (std::strncmp(argv[i], "--codec=", 8) == 0) {
+      codec_spec = argv[i] + 8;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.size() < 3) {
+    print_usage(argv[0]);
     return 2;
   }
-  const std::string mode = argv[1];
+  const std::string mode = args[0];
   if (mode == "c") {
-    const auto raw = read_file(argv[2]);
+    const auto raw = read_file(args[1]);
     if (raw.size() % sizeof(float) != 0) {
-      std::fprintf(stderr, "%s is not a whole number of float32s\n", argv[2]);
+      std::fprintf(stderr, "%s is not a whole number of float32s\n", args[1]);
       return 1;
     }
+    const std::size_t n = raw.size() / sizeof(float);
+    if (!codec_spec.empty()) {
+      // Registry path: any codec, wrapped in the spec-carrying container.
+      // Unset sz parameters default to this CLI's historical eb=1e-3 (the
+      // library's FrameworkConfig would seed 1e-4), so `--codec=sz` and the
+      // positional form compress identically.
+      core::FrameworkConfig fw;
+      fw.bootstrap_error_bound = 1e-3;
+      auto codec = core::CodecRegistry::instance().create(codec_spec, fw);
+      tensor::Tensor t(tensor::Shape::nchw(1, 1, 1, n));
+      std::memcpy(t.data(), raw.data(), raw.size());
+      const auto enc = codec->encode("cli", t);
+      std::vector<std::uint8_t> out;
+      out.insert(out.end(), kMagic, kMagic + 4);
+      const std::uint32_t spec_len = static_cast<std::uint32_t>(codec_spec.size());
+      const std::uint64_t numel = n;
+      out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&spec_len),
+                 reinterpret_cast<const std::uint8_t*>(&spec_len) + 4);
+      out.insert(out.end(), codec_spec.begin(), codec_spec.end());
+      out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&numel),
+                 reinterpret_cast<const std::uint8_t*>(&numel) + 8);
+      out.insert(out.end(), enc.bytes.begin(), enc.bytes.end());
+      write_file(args[2], out.data(), out.size());
+      std::printf("%zu floats -> %zu bytes (%.2fx) via %s\n", n, out.size(),
+                  static_cast<double>(raw.size()) / out.size(), codec->name().c_str());
+      return 0;
+    }
     sz::Config cfg;
-    cfg.error_bound = argc > 4 ? std::atof(argv[4]) : 1e-3;
-    if (argc > 5) {
-      const std::string zm = argv[5];
+    cfg.error_bound = args.size() > 3 ? std::atof(args[3]) : 1e-3;
+    if (args.size() > 4) {
+      const std::string zm = args[4];
       cfg.zero_mode = zm == "none"     ? sz::ZeroMode::kNone
                       : zm == "rle"    ? sz::ZeroMode::kExactRle
                                        : sz::ZeroMode::kRezero;
     }
     sz::Compressor comp(cfg);
-    std::span<const float> data{reinterpret_cast<const float*>(raw.data()),
-                                raw.size() / sizeof(float)};
+    std::span<const float> data{reinterpret_cast<const float*>(raw.data()), n};
     const auto buf = comp.compress(data);
-    write_file(argv[3], buf.bytes.data(), buf.bytes.size());
+    write_file(args[2], buf.bytes.data(), buf.bytes.size());
     std::printf("%zu floats -> %zu bytes (%.2fx), abs eb %.3e\n", data.size(),
                 buf.bytes.size(), buf.compression_ratio(), buf.abs_error_bound);
   } else if (mode == "d") {
+    const auto bytes = read_file(args[1]);
+    if (bytes.size() >= 16 && std::memcmp(bytes.data(), kMagic, 4) == 0) {
+      // Container: rebuild the codec the file names and decode through it.
+      std::uint32_t spec_len = 0;
+      std::memcpy(&spec_len, bytes.data() + 4, 4);
+      if (bytes.size() < 16 + static_cast<std::size_t>(spec_len)) {
+        std::fprintf(stderr, "truncated container %s\n", args[1]);
+        return 1;
+      }
+      const std::string spec(reinterpret_cast<const char*>(bytes.data()) + 8, spec_len);
+      std::uint64_t numel = 0;
+      std::memcpy(&numel, bytes.data() + 8 + spec_len, 8);
+      nn::EncodedActivation enc;
+      enc.layer = "cli";
+      enc.shape = tensor::Shape::nchw(1, 1, 1, static_cast<std::size_t>(numel));
+      enc.bytes.assign(bytes.begin() + 16 + spec_len, bytes.end());
+      auto codec = core::CodecRegistry::instance().create(spec);
+      const tensor::Tensor out = codec->decode(enc);
+      write_file(args[2], out.data(), out.numel() * sizeof(float));
+      std::printf("restored %zu floats via %s\n", out.numel(), codec->name().c_str());
+      return 0;
+    }
     sz::CompressedBuffer buf;
-    buf.bytes = read_file(argv[2]);
+    buf.bytes = bytes;
     // num_elements lives in the self-describing header.
     std::memcpy(&buf.num_elements, buf.bytes.data() + 4, sizeof(std::uint64_t));
     sz::Compressor comp;
     const auto out = comp.decompress(buf);
-    write_file(argv[3], out.data(), out.size() * sizeof(float));
+    write_file(args[2], out.data(), out.size() * sizeof(float));
     std::printf("restored %zu floats\n", out.size());
   } else {
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
@@ -93,3 +194,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   // A few real training steps so momentum / loss statistics exist.
   core::SessionConfig scfg;
-  scfg.mode = core::StoreMode::kFramework;
+  scfg.framework.codec = "sz";
   scfg.framework.sigma_fraction = sigma_fraction;
   scfg.framework.active_factor_w = 5;
   scfg.base_lr = 0.01;

@@ -54,7 +54,9 @@ int main() {
   data::DataLoader loader(dataset, /*batch=*/16, /*train=*/true, /*shuffle=*/true);
 
   core::SessionConfig scfg;
-  scfg.mode = core::StoreMode::kFramework;   // SZ-compressed activations
+  scfg.framework.codec = "sz";               // SZ-compressed activations
+                                             // (any registry spec works:
+                                             //  "lossless", "jpeg-act:quality=50", ...)
   scfg.framework.active_factor_w = 10;       // refresh bounds every 10 iters
   scfg.base_lr = 0.05;
 

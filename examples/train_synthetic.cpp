@@ -1,16 +1,21 @@
 // Example: full training comparison on the synthetic ImageNet substitute.
-// Trains the same network three ways — raw baseline, EBCT framework, and
-// the lossless-compression baseline — and reports curves, eval accuracy,
-// per-layer compression ratios and the peak activation footprint of each.
+// Trains the same network under several activation codecs — selected purely
+// by registry spec strings, no per-codec wiring — and reports curves, eval
+// accuracy, per-layer compression ratios and the peak activation footprint.
 //
-// Usage: train_synthetic [model] [iterations]
+// Usage: train_synthetic [model] [iterations] [--codec=<name[:params]>]
 //        model in {AlexNet, VGG-16, ResNet-18, ResNet-50}; default ResNet-18.
+//        Default codec set: none (raw baseline), sz, lossless. With --codec,
+//        the baseline and the requested codec are compared instead.
+//        --help lists every registered codec.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
-#include "baselines/lossless.hpp"
+#include "core/codec_registry.hpp"
 #include "core/session.hpp"
 #include "data/synthetic.hpp"
 #include "memory/accounting.hpp"
@@ -29,8 +34,7 @@ struct Outcome {
   std::size_t peak_store_bytes = 0;
 };
 
-Outcome run(const std::string& label, const std::string& model, core::StoreMode mode,
-            nn::ActivationStore* custom, std::size_t iters) {
+Outcome run(const std::string& model, const std::string& codec_spec, std::size_t iters) {
   models::ModelConfig mcfg;
   mcfg.input_hw = 16;
   mcfg.num_classes = 4;
@@ -47,14 +51,13 @@ Outcome run(const std::string& label, const std::string& model, core::StoreMode 
   data::DataLoader loader(ds, 16, true, true, 27);
 
   core::SessionConfig cfg;
-  cfg.mode = mode;
+  cfg.framework.codec = codec_spec;
   cfg.framework.active_factor_w = 20;
   cfg.base_lr = (model == "AlexNet" || model == "VGG-16") ? 0.01 : 0.05;
   core::TrainingSession session(*net, loader, cfg);
-  if (custom != nullptr) session.set_custom_store(custom);
 
   Outcome out;
-  out.name = label;
+  out.name = codec_spec;
   session.run(iters, [&](const core::IterationRecord& rec) {
     out.final_loss = rec.loss;
     out.ratio = rec.mean_compression_ratio;
@@ -63,36 +66,61 @@ Outcome run(const std::string& label, const std::string& model, core::StoreMode 
   data::DataLoader ev(ds, 16, false, false);
   out.eval_acc = session.evaluate(ev, 8);
 
-  if (mode == core::StoreMode::kFramework) {
-    std::printf("\n[%s] adaptive per-layer error bounds:\n", label.c_str());
+  if (session.scheme() != nullptr && session.scheme()->active()) {
+    std::printf("\n[%s] adaptive per-layer error bounds:\n", codec_spec.c_str());
+    const auto ratios = session.codec()->last_ratios();
     for (const auto& [layer, eb] : session.scheme()->last_bounds())
       std::printf("  %-28s eb = %.2e  (ratio %.1fx)\n", layer.c_str(), eb,
-                  session.codec()->last_ratios().count(layer)
-                      ? session.codec()->last_ratios().at(layer)
-                      : 0.0);
+                  ratios.count(layer) ? ratios.at(layer) : 0.0);
   }
   return out;
+}
+
+void print_help(const char* argv0) {
+  std::printf("usage: %s [model] [iterations] [--codec=<name[:params]>]\n\n", argv0);
+  std::puts("registered codecs:");
+  for (const auto& info : core::CodecRegistry::instance().list()) {
+    std::printf("  %-10s %s%s%s\n", info.name.c_str(), info.summary.c_str(),
+                info.params_help.empty() ? "" : "  params: ",
+                info.params_help.c_str());
+  }
+  std::puts("\nplus the session sentinels \"none\" (raw baseline) and \"custom\".");
+  std::puts("EBCT_CODEC=<spec> overrides the codec of any non-baseline run.");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string model = argc > 1 ? argv[1] : "ResNet-18";
-  const std::size_t iters = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 150;
-  std::printf("=== training %s for %zu iterations, three activation stores ===\n",
-              model.c_str(), iters);
+  std::string model = "ResNet-18";
+  std::size_t iters = 150;
+  std::vector<std::string> codecs = {"none", "sz", "lossless"};
+  std::size_t positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      return 0;
+    }
+    if (arg.rfind("--codec=", 0) == 0) {
+      codecs = {"none", arg.substr(std::strlen("--codec="))};
+    } else if (positional == 0) {
+      model = arg;
+      ++positional;
+    } else {
+      iters = std::strtoul(arg.c_str(), nullptr, 10);
+      ++positional;
+    }
+  }
 
-  baselines::LosslessCodec lossless_codec;
-  auto shared = std::make_shared<baselines::LosslessCodec>();
-  nn::CodecStore lossless_store(shared);
+  std::printf("=== training %s for %zu iterations, %zu activation codecs ===\n",
+              model.c_str(), iters, codecs.size());
 
-  const Outcome base = run("baseline", model, core::StoreMode::kBaseline, nullptr, iters);
-  const Outcome fw = run("EBCT", model, core::StoreMode::kFramework, nullptr, iters);
-  const Outcome ll = run("lossless", model, core::StoreMode::kCustom, &lossless_store, iters);
+  std::vector<Outcome> outcomes;
+  for (const auto& spec : codecs) outcomes.push_back(run(model, spec, iters));
 
-  memory::Table table({"store", "eval top-1", "final loss", "conv ratio",
+  memory::Table table({"codec", "eval top-1", "final loss", "conv ratio",
                        "peak stash bytes"});
-  for (const Outcome& o : {base, fw, ll}) {
+  for (const Outcome& o : outcomes) {
     table.add_row({o.name, memory::fmt("%.3f", o.eval_acc),
                    memory::fmt("%.3f", o.final_loss),
                    o.ratio > 0 ? memory::fmt("%.1fx", o.ratio) : "1.0x",

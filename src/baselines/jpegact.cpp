@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/codec_registry.hpp"
 #include "sz/bitstream.hpp"
 #include "sz/huffman.hpp"
 #include "tensor/ops.hpp"
@@ -152,7 +153,17 @@ EncodedActivation JpegActCodec::encode(const std::string& layer, const Tensor& a
   put_u64(scale_bits);
   enc.bytes.insert(enc.bytes.end(), table.begin(), table.end());
   enc.bytes.insert(enc.bytes.end(), body.begin(), body.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ratio_[layer] =
+        static_cast<double>(act.bytes()) / static_cast<double>(enc.bytes.size());
+  }
   return enc;
+}
+
+std::map<std::string, double> JpegActCodec::last_ratios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ratio_;
 }
 
 Tensor JpegActCodec::decode(const EncodedActivation& enc) {
@@ -212,3 +223,23 @@ Tensor JpegActCodec::decode(const EncodedActivation& enc) {
 }
 
 }  // namespace ebct::baselines
+
+namespace ebct::core::detail {
+
+void register_jpegact_codec(CodecRegistry& reg) {
+  reg.register_codec(
+      {"jpeg-act",
+       "JPEG-ACT DCT codec (Evans et al., ISCA'20) — NOT error-bounded",
+       "quality=<1..100>", false},
+      [](const std::string& params, const FrameworkConfig&) {
+        CodecParams p("jpeg-act", params);
+        const std::uint32_t quality = p.get_uint("quality", 50);
+        if (quality < 1 || quality > 100) {
+          throw std::invalid_argument("jpeg-act: quality must be in [1, 100]");
+        }
+        p.finish();
+        return std::make_shared<baselines::JpegActCodec>(static_cast<int>(quality));
+      });
+}
+
+}  // namespace ebct::core::detail

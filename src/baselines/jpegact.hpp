@@ -9,10 +9,16 @@
 /// coefficients. The per-element error is *not* bounded — the property the
 /// paper contrasts against — and the ratio lands in the ~5-10x regime.
 
+#include <map>
+#include <mutex>
+#include <string>
+
 #include "nn/activation_store.hpp"
 
 namespace ebct::baselines {
 
+/// Registry spec: "jpeg-act[:quality=<1..100>]". Not error-bounded — the
+/// adaptive scheme disables itself when this codec drives a session.
 class JpegActCodec : public nn::ActivationCodec {
  public:
   /// quality in [1, 100]; 50 reproduces the ~7x ratios the paper cites.
@@ -21,12 +27,15 @@ class JpegActCodec : public nn::ActivationCodec {
   nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
   tensor::Tensor decode(const nn::EncodedActivation& enc) override;
   std::string name() const override { return "jpeg-act"; }
+  std::map<std::string, double> last_ratios() const override;
 
   int quality() const { return quality_; }
 
  private:
   int quality_;
   int qtable_[64];
+  mutable std::mutex mu_;
+  std::map<std::string, double> last_ratio_;
 };
 
 }  // namespace ebct::baselines

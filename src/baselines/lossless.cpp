@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/codec_registry.hpp"
 #include "sz/bitstream.hpp"
 #include "sz/huffman.hpp"
 
@@ -67,7 +68,17 @@ EncodedActivation LosslessCodec::encode(const std::string& layer, const Tensor& 
   for (auto s : plane_sizes) put_u64(s);
   enc.bytes.insert(enc.bytes.end(), rle_bytes.begin(), rle_bytes.end());
   enc.bytes.insert(enc.bytes.end(), plane_payload.begin(), plane_payload.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ratio_[layer] =
+        static_cast<double>(act.bytes()) / static_cast<double>(enc.bytes.size());
+  }
   return enc;
+}
+
+std::map<std::string, double> LosslessCodec::last_ratios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ratio_;
 }
 
 Tensor LosslessCodec::decode(const EncodedActivation& enc) {
@@ -122,3 +133,18 @@ Tensor LosslessCodec::decode(const EncodedActivation& enc) {
 }
 
 }  // namespace ebct::baselines
+
+namespace ebct::core::detail {
+
+void register_lossless_codec(CodecRegistry& reg) {
+  reg.register_codec(
+      {"lossless",
+       "exact zero-RLE + byte-plane Huffman (~2x on sparse activations)", "", false},
+      [](const std::string& params, const FrameworkConfig&) {
+        CodecParams p("lossless", params);
+        p.finish();  // takes no parameters
+        return std::make_shared<baselines::LosslessCodec>();
+      });
+}
+
+}  // namespace ebct::core::detail

@@ -8,15 +8,25 @@
 /// mantissa bytes are near-random — which is exactly why lossless tops out
 /// around 2x).
 
+#include <map>
+#include <mutex>
+#include <string>
+
 #include "nn/activation_store.hpp"
 
 namespace ebct::baselines {
 
+/// Registry spec: "lossless" (no parameters).
 class LosslessCodec : public nn::ActivationCodec {
  public:
   nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
   tensor::Tensor decode(const nn::EncodedActivation& enc) override;
   std::string name() const override { return "lossless-rle-huffman"; }
+  std::map<std::string, double> last_ratios() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> last_ratio_;
 };
 
 }  // namespace ebct::baselines

@@ -7,12 +7,29 @@
 
 namespace ebct::core {
 
-AdaptiveScheme::AdaptiveScheme(FrameworkConfig cfg, SzActivationCodec* codec)
-    : cfg_(cfg), codec_(codec), model_(cfg.coefficient_a), assessor_(cfg.sigma_fraction) {}
+namespace {
+
+/// The capability cast, centralised: a codec drives the adaptive loop iff
+/// it exposes ErrorBoundedCodec AND reports its bounds as real (a policy
+/// with no error-bounded member implements the interface but returns
+/// error_bounded() == false).
+nn::ErrorBoundedCodec* as_error_bounded(nn::ActivationCodec* codec) {
+  auto* eb = dynamic_cast<nn::ErrorBoundedCodec*>(codec);
+  return (eb != nullptr && eb->error_bounded()) ? eb : nullptr;
+}
+
+}  // namespace
+
+AdaptiveScheme::AdaptiveScheme(FrameworkConfig cfg, nn::ActivationCodec* codec)
+    : cfg_(cfg),
+      eb_codec_(as_error_bounded(codec)),
+      model_(cfg.coefficient_a),
+      assessor_(cfg.sigma_fraction) {}
 
 void AdaptiveScheme::update(nn::Network& net, std::size_t batch_size) {
   stats_.clear();
   bounds_.clear();
+  if (!active()) return;  // unbounded codec: phases 1-4 are disabled
   net.visit([&](nn::Layer& layer) {
     auto* conv = dynamic_cast<nn::Conv2d*>(&layer);
     if (conv == nullptr) return;
@@ -36,7 +53,7 @@ void AdaptiveScheme::update(nn::Network& net, std::size_t batch_size) {
     bounds_[conv->name()] = eb;
 
     // Phase 4 — install on the compressor.
-    if (codec_ != nullptr) codec_->set_layer_bound(conv->name(), eb);
+    eb_codec_->set_layer_bound(conv->name(), eb);
   });
 }
 

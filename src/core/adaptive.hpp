@@ -13,21 +13,30 @@
 #include "core/config.hpp"
 #include "core/error_model.hpp"
 #include "core/gradient_assessor.hpp"
-#include "core/sz_codec.hpp"
+#include "nn/activation_store.hpp"
 #include "nn/network.hpp"
 
 namespace ebct::core {
 
 class AdaptiveScheme {
  public:
-  AdaptiveScheme(FrameworkConfig cfg, SzActivationCodec* codec);
+  /// The scheme programs against the ErrorBoundedCodec capability: any
+  /// codec implementing it (sz, a policy containing sz, ...) receives
+  /// per-layer bounds; for unbounded codecs (jpeg-act, lossless, none)
+  /// the scheme silently disables — active() is false, update() is a
+  /// no-op, and the session records the fact in IterationRecord.
+  AdaptiveScheme(FrameworkConfig cfg, nn::ActivationCodec* codec);
 
   const FrameworkConfig& config() const { return cfg_; }
 
+  /// Whether the driven codec accepts (and honours) error bounds.
+  bool active() const { return eb_codec_ != nullptr; }
+
   /// True on iterations where the semi-online parameters are re-collected
   /// (every W iterations; always on iteration 0's first refresh point).
+  /// Never true when the codec is not error-bounded.
   bool should_update(std::size_t iteration) const {
-    return iteration % cfg_.active_factor_w == 0;
+    return active() && iteration % cfg_.active_factor_w == 0;
   }
 
   /// Run phases 1-4 against the network's current state. Call after a
@@ -44,7 +53,7 @@ class AdaptiveScheme {
 
  private:
   FrameworkConfig cfg_;
-  SzActivationCodec* codec_;
+  nn::ErrorBoundedCodec* eb_codec_;  ///< null when the codec is unbounded
   ErrorModel model_;
   GradientAssessor assessor_;
   std::map<std::string, LayerStatistics> stats_;

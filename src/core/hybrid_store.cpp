@@ -6,7 +6,7 @@ namespace ebct::core {
 
 using tensor::Tensor;
 
-HybridStore::HybridStore(std::shared_ptr<SzActivationCodec> codec,
+HybridStore::HybridStore(std::shared_ptr<nn::ActivationCodec> codec,
                          std::shared_ptr<RoutePolicy> policy,
                          memory::PagerConfig pager_cfg)
     : codec_(std::move(codec)),

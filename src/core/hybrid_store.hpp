@@ -29,7 +29,6 @@
 #include <string>
 
 #include "baselines/strategies.hpp"
-#include "core/sz_codec.hpp"
 #include "memory/pager.hpp"
 #include "nn/activation_store.hpp"
 
@@ -74,10 +73,12 @@ struct MigrationLedger {
 
 class HybridStore : public nn::ActivationStore {
  public:
+  /// `codec` is any registry-built codec (the kCompress route encodes
+  /// through it; per-layer CodecPolicy instances compose here too).
   /// `pager_cfg` defaults to unlimited budget: only kMigrate pages leave
   /// RAM unless the caller sets one (then kRaw/kCompress pages also page
   /// out under pressure, unifying migration with budget eviction).
-  HybridStore(std::shared_ptr<SzActivationCodec> codec, std::shared_ptr<RoutePolicy> policy,
+  HybridStore(std::shared_ptr<nn::ActivationCodec> codec, std::shared_ptr<RoutePolicy> policy,
               memory::PagerConfig pager_cfg = {});
 
   nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override;
@@ -96,7 +97,7 @@ class HybridStore : public nn::ActivationStore {
   memory::ActivationPager& pager() { return pager_; }
 
  private:
-  std::shared_ptr<SzActivationCodec> codec_;
+  std::shared_ptr<nn::ActivationCodec> codec_;
   std::shared_ptr<RoutePolicy> policy_;
   memory::ActivationPager pager_;
   std::map<nn::StashHandle, StashRoute> route_of_;  ///< live handles only

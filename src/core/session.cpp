@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/codec_registry.hpp"
+
 namespace ebct::core {
 
 using tensor::Tensor;
@@ -53,46 +55,87 @@ memory::PagerConfig pager_config_from(const FrameworkConfig& fw) {
   return pc;
 }
 
+/// The session's codec choice, in precedence order:
+///   1. the deprecated StoreMode shim when it says something explicit
+///      (kBaseline -> "none", kCustom -> "custom");
+///   2. the EBCT_CODEC env override — so any training binary can be
+///      re-run under a different codec without a rebuild. It replaces a
+///      *codec* spec only: "none"/"custom" select a store topology and a
+///      run that asked for the raw baseline must stay a raw baseline;
+///   3. FrameworkConfig::codec.
+std::string resolve_codec_spec(const SessionConfig& cfg) {
+  std::string spec = cfg.framework.codec;
+  switch (cfg.mode) {
+    case StoreMode::kBaseline:
+      return "none";
+    case StoreMode::kCustom:
+      return "custom";
+    case StoreMode::kFramework:
+      break;
+  }
+  if (spec != "none" && spec != "custom") {
+    if (const char* env = std::getenv("EBCT_CODEC"); env != nullptr && env[0] != '\0') {
+      if (std::string(env) == "custom") {
+        // "custom" means "the caller will install a store in code" — an env
+        // var cannot do that, and accepting it would silently train through
+        // the network's fallback raw store. Fail loudly instead.
+        throw std::invalid_argument(
+            "EBCT_CODEC=custom: a custom store cannot be selected from the "
+            "environment; call TrainingSession::set_custom_store()");
+      }
+      spec = env;
+    }
+  }
+  return spec;
+}
+
 }  // namespace
 
 TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
                                  SessionConfig cfg)
-    : net_(net), loader_(loader), cfg_(cfg), sgd_(cfg.sgd) {
+    : net_(net),
+      loader_(loader),
+      cfg_(cfg),
+      codec_spec_(resolve_codec_spec(cfg)),
+      sgd_(cfg.sgd) {
   if (cfg_.lr_step > 0) {
     schedule_ = std::make_unique<nn::StepLr>(cfg_.base_lr, cfg_.lr_gamma, cfg_.lr_step);
   } else {
     schedule_ = std::make_unique<nn::ConstantLr>(cfg_.base_lr);
   }
 
-  switch (cfg_.mode) {
-    case StoreMode::kBaseline:
-      raw_store_ = std::make_unique<nn::RawStore>();
-      net_.set_store(raw_store_.get());
-      break;
-    case StoreMode::kFramework: {
-      sz::Config sz_cfg;
-      sz_cfg.error_bound = cfg_.framework.bootstrap_error_bound;
-      sz_cfg.zero_mode = cfg_.framework.zero_mode;
-      sz_cfg.num_threads = cfg_.framework.compressor_threads;
-      codec_ = std::make_shared<SzActivationCodec>(sz_cfg);
-      // All framework training routes through the tiered pager: with no
-      // budget it behaves exactly like the old CodecStore (or, with
-      // async_compression, the retired AsyncCodecStore, now thread-free);
-      // with a budget it spills to disk and pages the layers' exact state.
-      framework_store_ = std::make_unique<memory::PagedStore>(
-          pager_config_from(cfg_.framework), codec_);
-      net_.set_store(framework_store_.get());
-      scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
-      break;
-    }
-    case StoreMode::kCustom:
-      break;  // caller installs via set_custom_store()
+  if (codec_spec_ == "custom") {
+    return;  // caller installs via set_custom_store()
   }
+  if (codec_spec_ == "none") {
+    raw_store_ = std::make_unique<nn::RawStore>();
+    net_.set_store(raw_store_.get());
+    return;
+  }
+  // Any registered codec: all training routes through the tiered pager —
+  // with no budget it behaves exactly like the old CodecStore (or, with
+  // async_compression, the retired AsyncCodecStore, now thread-free); with
+  // a budget it spills to disk and pages the layers' exact state. The
+  // adaptive scheme rides along and self-disables when the codec is not
+  // error-bounded (IterationRecord::adaptive_active reports which).
+  codec_ = CodecRegistry::instance().create(codec_spec_, cfg_.framework);
+  framework_store_ = std::make_unique<memory::PagedStore>(
+      pager_config_from(cfg_.framework), codec_);
+  net_.set_store(framework_store_.get());
+  scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
 }
 
 void TrainingSession::set_custom_store(nn::ActivationStore* store) {
   cfg_.mode = StoreMode::kCustom;
+  codec_spec_ = "custom";
   net_.set_store(store);
+  // Tear down whatever a previous spec built: a live scheme would keep
+  // programming a codec no store consults, and the records would claim
+  // an adaptive run that is not happening.
+  scheme_.reset();
+  framework_store_.reset();
+  raw_store_.reset();
+  codec_.reset();
 }
 
 void TrainingSession::run(std::size_t iterations,
@@ -129,6 +172,7 @@ void TrainingSession::run(std::size_t iterations,
     rec.lr = rate;
     rec.store_held_bytes = held;
     rec.store_spilled_bytes = spilled;
+    rec.adaptive_active = scheme_ != nullptr && scheme_->active();
     if (codec_) {
       const auto ratios = codec_->last_ratios();
       if (!ratios.empty()) {

@@ -5,6 +5,15 @@
 /// the activation-store strategies together, running the full loop of
 /// Fig. 1 + Fig. 7. This is the public entry point a downstream user of the
 /// library calls; the benches and examples are thin wrappers over it.
+///
+/// What the session does with activations is selected by a codec spec
+/// string (FrameworkConfig::codec, overridable with EBCT_CODEC): any codec
+/// registered in the CodecRegistry — "sz", "lossless", "jpeg-act:quality=50",
+/// a per-layer "policy:..." — trains through the tiered pager with the
+/// adaptive scheme enabled whenever the codec is error-bounded; "none"
+/// selects the raw-store baseline and "custom" defers to
+/// set_custom_store(). The paper's §5.4 comparison is therefore a config
+/// sweep, not a code change.
 
 #include <functional>
 #include <memory>
@@ -21,13 +30,21 @@
 
 namespace ebct::core {
 
+/// DEPRECATED compatibility shim (one release): the pre-registry way of
+/// choosing what a session does with activations. New code selects a codec
+/// spec string through FrameworkConfig::codec instead — "none" replaces
+/// kBaseline, any registry spec replaces kFramework, and "custom" replaces
+/// kCustom. The enum still resolves (see TrainingSession) so out-of-tree
+/// callers keep compiling for one release; it will be removed after that.
 enum class StoreMode {
-  kBaseline,    ///< raw activations (stock framework)
-  kFramework,   ///< SZ compression + adaptive error-bound control
-  kCustom,      ///< caller-provided store (baselines, injection)
+  kBaseline,    ///< raw activations (stock framework)      -> codec "none"
+  kFramework,   ///< registry codec + adaptive bound control -> codec spec
+  kCustom,      ///< caller-provided store                   -> codec "custom"
 };
 
 struct SessionConfig {
+  /// DEPRECATED shim, see StoreMode. kFramework (the default) defers to
+  /// framework.codec; the other two values override it.
   StoreMode mode = StoreMode::kFramework;
   FrameworkConfig framework;
   nn::SgdOptions sgd;
@@ -46,13 +63,18 @@ struct IterationRecord {
   double mean_compression_ratio = 0.0;  ///< over conv layers, 0 when raw
   std::size_t store_held_bytes = 0;     ///< RAM-resident stash at fwd/bwd turnaround
   std::size_t store_spilled_bytes = 0;  ///< disk-tier stash at the same point
+  /// Whether the adaptive scheme is driving per-layer bounds this run —
+  /// false when the selected codec is not error-bounded (jpeg-act,
+  /// lossless, none) and the phases 1-4 loop silently disabled itself.
+  bool adaptive_active = false;
 };
 
 class TrainingSession {
  public:
   TrainingSession(nn::Network& net, data::DataLoader& loader, SessionConfig cfg);
 
-  /// Install a custom store (sets mode kCustom).
+  /// Install a caller-owned store (the codec-"custom" path; also usable to
+  /// replace the store a previous spec built).
   void set_custom_store(nn::ActivationStore* store);
 
   /// Run `iterations` steps; per-step records are appended to history().
@@ -66,7 +88,11 @@ class TrainingSession {
   const std::vector<IterationRecord>& history() const { return history_; }
   nn::Network& network() { return net_; }
   AdaptiveScheme* scheme() { return scheme_ ? scheme_.get() : nullptr; }
-  SzActivationCodec* codec() { return codec_.get(); }
+  /// The registry-built codec driving the pager (null for "none"/"custom").
+  nn::ActivationCodec* codec() { return codec_.get(); }
+  /// The codec spec the session resolved (registry spec, "none" or
+  /// "custom") after the StoreMode shim and the EBCT_CODEC override.
+  const std::string& codec_spec() const { return codec_spec_; }
   /// The framework mode's tiered store (null in baseline/custom modes).
   memory::PagedStore* paged_store() { return framework_store_.get(); }
   std::size_t iteration() const { return iteration_; }
@@ -75,11 +101,12 @@ class TrainingSession {
   nn::Network& net_;
   data::DataLoader& loader_;
   SessionConfig cfg_;
+  std::string codec_spec_;
   nn::Sgd sgd_;
   std::unique_ptr<nn::LrSchedule> schedule_;
   nn::SoftmaxCrossEntropy loss_;
 
-  std::shared_ptr<SzActivationCodec> codec_;
+  std::shared_ptr<nn::ActivationCodec> codec_;
   std::unique_ptr<memory::PagedStore> framework_store_;  ///< budget-enforced tiered store
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;

@@ -1,6 +1,9 @@
 #include "core/sz_codec.hpp"
 
 #include <cstring>
+#include <stdexcept>
+
+#include "core/codec_registry.hpp"
 
 namespace ebct::core {
 
@@ -49,6 +52,48 @@ Tensor SzActivationCodec::decode(const EncodedActivation& enc) {
   Tensor out(enc.shape);
   comp.decompress(buf, out.span());
   return out;
+}
+
+void detail::register_sz_codec(CodecRegistry& reg) {
+  reg.register_codec(
+      {"sz",
+       "SZ error-bounded lossy compressor — the framework codec (adaptive-compatible)",
+       "eb=<abs bound>, mode=abs|rel, zero=none|rezero|rle, threads=<n>", true},
+      [](const std::string& params, const FrameworkConfig& fw) {
+        CodecParams p("sz", params);
+        // Spec defaults reproduce what TrainingSession hard-wired before the
+        // registry: bootstrap bound, framework zero mode, framework thread
+        // cap — so "sz" with no parameters is byte-identical to the old
+        // StoreMode::kFramework pipeline.
+        sz::Config cfg;
+        cfg.error_bound = p.get_double("eb", fw.bootstrap_error_bound);
+        cfg.num_threads = p.get_uint("threads", fw.compressor_threads);
+        const std::string mode = p.get_string("mode", "abs");
+        if (mode == "abs") {
+          cfg.bound_mode = sz::BoundMode::kAbsolute;
+        } else if (mode == "rel") {
+          cfg.bound_mode = sz::BoundMode::kRelative;
+        } else {
+          throw std::invalid_argument("sz: mode must be abs or rel, got '" + mode + "'");
+        }
+        const std::string zero_default =
+            fw.zero_mode == sz::ZeroMode::kNone       ? "none"
+            : fw.zero_mode == sz::ZeroMode::kExactRle ? "rle"
+                                                      : "rezero";
+        const std::string zero = p.get_string("zero", zero_default);
+        if (zero == "none") {
+          cfg.zero_mode = sz::ZeroMode::kNone;
+        } else if (zero == "rezero") {
+          cfg.zero_mode = sz::ZeroMode::kRezero;
+        } else if (zero == "rle") {
+          cfg.zero_mode = sz::ZeroMode::kExactRle;
+        } else {
+          throw std::invalid_argument("sz: zero must be none, rezero or rle, got '" +
+                                      zero + "'");
+        }
+        p.finish();
+        return std::make_shared<SzActivationCodec>(cfg);
+      });
 }
 
 }  // namespace ebct::core

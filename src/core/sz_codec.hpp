@@ -14,7 +14,10 @@
 
 namespace ebct::core {
 
-class SzActivationCodec : public nn::ActivationCodec {
+/// Registry spec: "sz[:eb=<bound>,mode=abs|rel,zero=none|rezero|rle,threads=<n>]"
+/// — unset parameters inherit the FrameworkConfig defaults (bootstrap
+/// error bound, zero mode, compressor thread cap).
+class SzActivationCodec : public nn::ActivationCodec, public nn::ErrorBoundedCodec {
  public:
   explicit SzActivationCodec(sz::Config base_config);
 
@@ -23,11 +26,19 @@ class SzActivationCodec : public nn::ActivationCodec {
   std::string name() const override { return "sz-error-bounded"; }
 
   /// Install the adaptive per-layer bound (phase 3 output).
-  void set_layer_bound(const std::string& layer, double eb);
-  double layer_bound(const std::string& layer) const;
+  void set_layer_bound(const std::string& layer, double eb) override;
+  double layer_bound(const std::string& layer) const override;
 
   /// Compression ratio of the most recent encode per layer.
-  std::map<std::string, double> last_ratios() const;
+  std::map<std::string, double> last_ratios() const override;
+
+  /// The adaptive scheme's per-layer bounds are *absolute* (Eq. 9); in
+  /// relative-bound mode an installed value would be silently rescaled by
+  /// each layer's range, so the codec reports itself unbounded and the
+  /// scheme disables instead of mis-programming it.
+  bool error_bounded() const override {
+    return base_.bound_mode == sz::BoundMode::kAbsolute;
+  }
 
   const sz::Config& base_config() const { return base_; }
 

@@ -109,12 +109,42 @@ struct EncodedActivation {
 
 /// Pluggable lossy/lossless encoder for activations. The SZ-based framework
 /// codec, the lossless baseline and the JPEG-ACT baseline all implement this.
+/// Concrete codecs are usually obtained by name through the CodecRegistry
+/// (core/codec_registry.hpp) rather than constructed directly.
 class ActivationCodec {
  public:
   virtual ~ActivationCodec() = default;
   virtual EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) = 0;
   virtual tensor::Tensor decode(const EncodedActivation& enc) = 0;
   virtual std::string name() const = 0;
+
+  /// Compression ratio of the most recent encode, per layer. Optional stat
+  /// hook: codecs that don't track ratios report nothing and consumers
+  /// (IterationRecord's mean ratio, the benches) degrade gracefully.
+  virtual std::map<std::string, double> last_ratios() const { return {}; }
+};
+
+/// Capability sub-interface of ActivationCodec: a codec whose per-element
+/// reconstruction error is controlled by an installable per-layer absolute
+/// bound. This is the seam the adaptive scheme (core/adaptive.hpp) programs
+/// against — phases 1-4 run for any codec implementing it and silently
+/// disable for unbounded codecs such as JPEG-ACT. Implementations inherit
+/// both ActivationCodec and ErrorBoundedCodec.
+class ErrorBoundedCodec {
+ public:
+  virtual ~ErrorBoundedCodec() = default;
+
+  /// Install the adaptive per-layer absolute bound (phase 3 output).
+  virtual void set_layer_bound(const std::string& layer, double eb) = 0;
+
+  /// Bound currently in force for `layer` (base/bootstrap bound when unset).
+  virtual double layer_bound(const std::string& layer) const = 0;
+
+  /// Whether bounds installed now actually constrain the error. Composite
+  /// codecs (CodecPolicy) return false when no member is error-bounded, so
+  /// the adaptive scheme can tell a plumbing-only implementation from a
+  /// real one.
+  virtual bool error_bounded() const { return true; }
 };
 
 /// Store that routes activations through an ActivationCodec, holding only the

@@ -237,9 +237,11 @@ TEST(AsyncStoreTest, UnknownHandleThrows) {
 }
 
 TEST(AdaptiveSchemeTest, ShouldUpdateEveryW) {
+  sz::Config scfg_w;
+  SzActivationCodec codec_w(scfg_w);
   FrameworkConfig cfg;
   cfg.active_factor_w = 100;
-  AdaptiveScheme scheme(cfg, nullptr);
+  AdaptiveScheme scheme(cfg, &codec_w);
   EXPECT_TRUE(scheme.should_update(0));
   EXPECT_FALSE(scheme.should_update(1));
   EXPECT_FALSE(scheme.should_update(99));
@@ -288,8 +290,10 @@ TEST(AdaptiveSchemeTest, BootstrapWhenNoSignal) {
   Rng rng(130);
   nn::Network net("n");
   net.add(std::make_unique<nn::Conv2d>("conv1", nn::Conv2dSpec{1, 2, 3, 1, 1}, rng));
+  sz::Config scfg;
+  SzActivationCodec codec(scfg);
   FrameworkConfig fcfg;
-  AdaptiveScheme scheme(fcfg, nullptr);
+  AdaptiveScheme scheme(fcfg, &codec);
   scheme.update(net, 4);  // no backward has run: L̄ = 0
   EXPECT_DOUBLE_EQ(scheme.last_bounds().at("conv1"), fcfg.bootstrap_error_bound);
 }

@@ -6,6 +6,7 @@
 
 #include <cstring>
 
+#include "core/codec_registry.hpp"
 #include "core/hybrid_store.hpp"
 #include "core/session.hpp"
 #include "data/transforms.hpp"
@@ -278,7 +279,7 @@ TEST(InceptionV4, RegistryLookupWorks) {
 // --- HybridStore -----------------------------------------------------------------
 
 TEST(HybridStoreTest, RoutesBySize) {
-  auto codec = std::make_shared<core::SzActivationCodec>(sz::Config{});
+  auto codec = core::CodecRegistry::instance().create("sz");
   auto policy = std::make_shared<core::SizeThresholdPolicy>(1024, 1 << 20);
   core::HybridStore store(codec, policy);
 
@@ -314,7 +315,7 @@ TEST(HybridStoreTest, RoutesBySize) {
 }
 
 TEST(HybridStoreTest, MigratedDataIsExact) {
-  auto codec = std::make_shared<core::SzActivationCodec>(sz::Config{});
+  auto codec = core::CodecRegistry::instance().create("sz");
   auto policy = std::make_shared<core::SizeThresholdPolicy>(0, 0);  // all migrate
   core::HybridStore store(codec, policy);
   Tensor t = testutil::random_tensor(Shape{1000}, 613);
@@ -340,7 +341,7 @@ TEST(HybridStoreTest, TrainsEndToEnd) {
   cfg.num_classes = 4;
   cfg.width_multiplier = 0.25;
   auto net = models::make_resnet18(cfg);
-  auto codec = std::make_shared<core::SzActivationCodec>(sz::Config{});
+  auto codec = core::CodecRegistry::instance().create("sz");
   auto policy = std::make_shared<core::SizeThresholdPolicy>(48 * 1024, 1 << 30);
   core::HybridStore store(codec, policy);
   net->set_store(&store);
@@ -352,7 +353,7 @@ TEST(HybridStoreTest, TrainsEndToEnd) {
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, 8, true, true);
   core::SessionConfig scfg;
-  scfg.mode = core::StoreMode::kCustom;
+  scfg.framework.codec = "custom";
   core::TrainingSession session(*net, loader, scfg);
   session.set_custom_store(&store);
   session.run(5);

@@ -265,7 +265,7 @@ RunResult train_once(std::size_t budget, bool async, int pool_threads,
   data::DataLoader loader(ds, 8, true, true, 31);
 
   core::SessionConfig cfg;
-  cfg.mode = core::StoreMode::kFramework;
+  // codec: FrameworkConfig default ("sz") — the registry-built framework path.
   cfg.framework.active_factor_w = 4;
   cfg.framework.memory_budget_bytes = budget;
   cfg.framework.async_compression = async;

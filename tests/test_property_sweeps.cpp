@@ -176,7 +176,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 struct MatrixCase {
   const char* model;
-  core::StoreMode mode;
+  const char* codec;  ///< registry spec, or "none" for the raw baseline
 };
 
 class ModelStoreMatrix : public ::testing::TestWithParam<MatrixCase> {};
@@ -195,7 +195,7 @@ TEST_P(ModelStoreMatrix, FiveIterationsFiniteLoss) {
   data::SyntheticImageDataset ds(dspec);
   data::DataLoader loader(ds, 8, true, true);
   core::SessionConfig cfg;
-  cfg.mode = c.mode;
+  cfg.framework.codec = c.codec;
   cfg.framework.active_factor_w = 3;
   cfg.base_lr = 0.01;
   core::TrainingSession session(*net, loader, cfg);
@@ -203,23 +203,23 @@ TEST_P(ModelStoreMatrix, FiveIterationsFiniteLoss) {
   for (const auto& rec : session.history()) {
     ASSERT_TRUE(std::isfinite(rec.loss)) << c.model;
   }
-  if (c.mode == core::StoreMode::kFramework) {
+  if (std::string(c.codec) != "none") {
     EXPECT_GT(session.history().back().mean_compression_ratio, 1.0) << c.model;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllPairs, ModelStoreMatrix,
-    ::testing::Values(MatrixCase{"AlexNet", core::StoreMode::kBaseline},
-                      MatrixCase{"AlexNet", core::StoreMode::kFramework},
-                      MatrixCase{"VGG-16", core::StoreMode::kBaseline},
-                      MatrixCase{"VGG-16", core::StoreMode::kFramework},
-                      MatrixCase{"ResNet-18", core::StoreMode::kBaseline},
-                      MatrixCase{"ResNet-18", core::StoreMode::kFramework},
-                      MatrixCase{"ResNet-50", core::StoreMode::kBaseline},
-                      MatrixCase{"ResNet-50", core::StoreMode::kFramework},
-                      MatrixCase{"Inception-V4", core::StoreMode::kBaseline},
-                      MatrixCase{"Inception-V4", core::StoreMode::kFramework}));
+    ::testing::Values(MatrixCase{"AlexNet", "none"},
+                      MatrixCase{"AlexNet", "sz"},
+                      MatrixCase{"VGG-16", "none"},
+                      MatrixCase{"VGG-16", "sz"},
+                      MatrixCase{"ResNet-18", "none"},
+                      MatrixCase{"ResNet-18", "sz"},
+                      MatrixCase{"ResNet-50", "none"},
+                      MatrixCase{"ResNet-50", "sz"},
+                      MatrixCase{"Inception-V4", "none"},
+                      MatrixCase{"Inception-V4", "sz"}));
 
 // --- Lossless roundtrip sweep -----------------------------------------------------
 

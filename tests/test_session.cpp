@@ -35,7 +35,7 @@ models::ModelConfig tiny_model() {
 
 SessionConfig fast_framework() {
   SessionConfig cfg;
-  cfg.mode = StoreMode::kFramework;
+  cfg.framework.codec = "sz";  // may be re-routed by EBCT_CODEC in CI legs
   cfg.framework.active_factor_w = 10;  // refresh often at test scale
   cfg.base_lr = 0.05;
   return cfg;
@@ -46,9 +46,10 @@ TEST(TrainingSessionTest, BaselineLossDecreases) {
   data::SyntheticImageDataset ds(tiny_data());
   data::DataLoader loader(ds, 16, true, true);
   SessionConfig cfg;
-  cfg.mode = StoreMode::kBaseline;
+  cfg.framework.codec = "none";
   cfg.base_lr = 0.05;
   TrainingSession session(*net, loader, cfg);
+  EXPECT_EQ(session.codec_spec(), "none");
   session.run(30);
   ASSERT_EQ(session.history().size(), 30u);
   double early = 0.0, late = 0.0;
@@ -64,13 +65,20 @@ TEST(TrainingSessionTest, FrameworkCompressesAndTrains) {
   TrainingSession session(*net, loader, fast_framework());
   session.run(30);
 
-  // Compression kicks in and delivers >1x on conv activations.
-  const auto& last = session.history().back();
-  EXPECT_GT(last.mean_compression_ratio, 1.5);
-
-  // Adaptive bounds are installed for every conv layer after the first W.
+  // Compression kicks in and delivers >1x on conv activations. The exact
+  // regime depends on the codec an EBCT_CODEC override may have selected:
+  // sz lands ~5-10x, lossless ~2x.
   ASSERT_NE(session.scheme(), nullptr);
-  EXPECT_FALSE(session.scheme()->last_bounds().empty());
+  const bool error_bounded = session.scheme()->active();
+  const auto& last = session.history().back();
+  EXPECT_GT(last.mean_compression_ratio, error_bounded ? 1.5 : 1.05);
+  EXPECT_EQ(last.adaptive_active, error_bounded);
+
+  // Adaptive bounds are installed for every conv layer after the first W
+  // (whenever the codec accepts bounds at all).
+  if (error_bounded) {
+    EXPECT_FALSE(session.scheme()->last_bounds().empty());
+  }
   for (const auto& [layer, eb] : session.scheme()->last_bounds()) {
     EXPECT_GE(eb, session.scheme()->config().min_error_bound) << layer;
     EXPECT_LE(eb, session.scheme()->config().max_error_bound) << layer;
@@ -97,7 +105,9 @@ TEST(TrainingSessionTest, AsyncFrameworkTrainsLikeSync) {
   TrainingSession session(*net, loader, cfg);
   session.run(30);
   ASSERT_EQ(session.history().size(), 30u);
-  EXPECT_GT(session.history().back().mean_compression_ratio, 1.5);
+  const bool error_bounded = session.scheme() != nullptr && session.scheme()->active();
+  EXPECT_GT(session.history().back().mean_compression_ratio,
+            error_bounded ? 1.5 : 1.05);
   double early = 0.0, late = 0.0;
   for (int i = 0; i < 5; ++i) early += session.history()[i].loss;
   for (int i = 25; i < 30; ++i) late += session.history()[i].loss;
@@ -115,7 +125,7 @@ TEST(TrainingSessionTest, FrameworkAccuracyTracksBaseline) {
   data::DataLoader loader_b(ds, 16, true, true, 31);
 
   SessionConfig base_cfg;
-  base_cfg.mode = StoreMode::kBaseline;
+  base_cfg.framework.codec = "none";
   base_cfg.base_lr = 0.05;
   TrainingSession base(*net_base, loader_a, base_cfg);
   TrainingSession fw(*net_fw, loader_b, fast_framework());
@@ -135,9 +145,10 @@ TEST(TrainingSessionTest, CustomInjectionStoreRuns) {
   data::SyntheticImageDataset ds(tiny_data());
   data::DataLoader loader(ds, 8, true, true);
   SessionConfig cfg;
-  cfg.mode = StoreMode::kCustom;
+  cfg.framework.codec = "custom";
   cfg.base_lr = 0.05;
   TrainingSession session(*net, loader, cfg);
+  EXPECT_EQ(session.codec_spec(), "custom");
   InjectionStore store(1e-3, /*preserve_zeros=*/true, 321);
   session.set_custom_store(&store);
   session.run(5);
@@ -150,7 +161,7 @@ TEST(TrainingSessionTest, HistoryRecordsLrSchedule) {
   data::SyntheticImageDataset ds(tiny_data());
   data::DataLoader loader(ds, 8, true, true);
   SessionConfig cfg;
-  cfg.mode = StoreMode::kBaseline;
+  cfg.framework.codec = "none";
   cfg.base_lr = 0.1;
   cfg.lr_step = 4;
   cfg.lr_gamma = 0.5;
@@ -167,14 +178,17 @@ TEST(TrainingSessionTest, StoreHeldBytesSmallerUnderCompression) {
   data::DataLoader loader_a(ds, 16, true, true, 5);
   data::DataLoader loader_b(ds, 16, true, true, 5);
   SessionConfig base_cfg;
-  base_cfg.mode = StoreMode::kBaseline;
+  base_cfg.framework.codec = "none";
   TrainingSession base(*net_a, loader_a, base_cfg);
   TrainingSession fw(*net_b, loader_b, fast_framework());
   base.run(3);
   fw.run(3);
   // Held bytes at the forward/backward turnaround: compressed is smaller.
+  // sz halves the stash many times over; a lossless override still beats
+  // the raw baseline outright.
+  const bool error_bounded = fw.scheme() != nullptr && fw.scheme()->active();
   EXPECT_LT(fw.history().back().store_held_bytes,
-            base.history().back().store_held_bytes / 2);
+            base.history().back().store_held_bytes / (error_bounded ? 2 : 1));
 }
 
 TEST(TrainingSessionTest, CallbackObservesEveryIteration) {
@@ -182,7 +196,7 @@ TEST(TrainingSessionTest, CallbackObservesEveryIteration) {
   data::SyntheticImageDataset ds(tiny_data());
   data::DataLoader loader(ds, 8, true, true);
   SessionConfig cfg;
-  cfg.mode = StoreMode::kBaseline;
+  cfg.framework.codec = "none";
   TrainingSession session(*net, loader, cfg);
   std::size_t calls = 0;
   session.run(7, [&](const IterationRecord& rec) {
@@ -190,6 +204,53 @@ TEST(TrainingSessionTest, CallbackObservesEveryIteration) {
     ++calls;
   });
   EXPECT_EQ(calls, 7u);
+}
+
+TEST(TrainingSessionTest, StoreModeShimStillResolves) {
+  // One-release compatibility: the deprecated StoreMode enum keeps
+  // selecting stores until out-of-tree callers migrate to codec specs.
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 8, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kBaseline;
+  cfg.framework.codec = "sz";  // ignored: the shim wins when explicit
+  TrainingSession session(*net, loader, cfg);
+  EXPECT_EQ(session.codec_spec(), "none");
+  EXPECT_EQ(session.codec(), nullptr);
+  session.run(2);
+  EXPECT_EQ(session.history().size(), 2u);
+  EXPECT_DOUBLE_EQ(session.history().back().mean_compression_ratio, 0.0);
+  EXPECT_FALSE(session.history().back().adaptive_active);
+}
+
+TEST(TrainingSessionTest, NonErrorBoundedCodecTrainsWithAdaptiveDisabled) {
+  // The paper's comparator path, now first-class: JPEG-ACT drives the full
+  // session + pager pipeline from a config string, and the adaptive scheme
+  // records itself disabled instead of silently mis-programming the codec.
+  auto net = models::make_resnet18(tiny_model());
+  data::SyntheticImageDataset ds(tiny_data());
+  data::DataLoader loader(ds, 8, true, true);
+  SessionConfig cfg;
+  cfg.mode = StoreMode::kFramework;  // shim default defers to the spec below
+  cfg.framework.codec = "jpeg-act:quality=90";
+  cfg.framework.active_factor_w = 3;
+  cfg.base_lr = 0.01;
+  TrainingSession session(*net, loader, cfg);
+  if (session.codec_spec() != "jpeg-act:quality=90") {
+    GTEST_SKIP() << "EBCT_CODEC override active: " << session.codec_spec();
+  }
+  ASSERT_NE(session.codec(), nullptr);
+  EXPECT_EQ(session.codec()->name(), "jpeg-act");
+  ASSERT_NE(session.scheme(), nullptr);
+  EXPECT_FALSE(session.scheme()->active());
+  session.run(5);
+  for (const auto& rec : session.history()) {
+    EXPECT_TRUE(std::isfinite(rec.loss));
+    EXPECT_FALSE(rec.adaptive_active);
+  }
+  EXPECT_GT(session.history().back().mean_compression_ratio, 1.0);
+  EXPECT_TRUE(session.scheme()->last_bounds().empty());
 }
 
 }  // namespace
