@@ -29,6 +29,12 @@ class JpegActCodec : public nn::ActivationCodec {
   std::string name() const override { return "jpeg-act"; }
   std::map<std::string, double> last_ratios() const override;
 
+  /// Quality (and thus the quantization table) is codec-global, so the
+  /// byte stream never depends on the layer name.
+  bool encoding_layer_invariant(const std::string&, const std::string&) const override {
+    return true;
+  }
+
   int quality() const { return quality_; }
 
  private:

@@ -24,6 +24,11 @@ class LosslessCodec : public nn::ActivationCodec {
   std::string name() const override { return "lossless-rle-huffman"; }
   std::map<std::string, double> last_ratios() const override;
 
+  /// The transform has no per-layer state at all.
+  bool encoding_layer_invariant(const std::string&, const std::string&) const override {
+    return true;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, double> last_ratio_;

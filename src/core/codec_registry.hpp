@@ -149,6 +149,14 @@ class CodecPolicy : public nn::ActivationCodec, public nn::ErrorBoundedCodec {
   double layer_bound(const std::string& layer) const override;
   bool error_bounded() const override;  ///< true when any member is
 
+  /// Invariant only when both layers route to the *same* member and that
+  /// member is itself invariant across the two names.
+  bool encoding_layer_invariant(const std::string& a,
+                                const std::string& b) const override {
+    nn::ActivationCodec& ca = codec_for(a);
+    return &ca == &codec_for(b) && ca.encoding_layer_invariant(a, b);
+  }
+
   /// The codec `layer` routes to (pattern match, fail-loud on no match).
   nn::ActivationCodec& codec_for(const std::string& layer) const;
 

@@ -84,6 +84,21 @@ struct FrameworkConfig {
   /// the pager fetches (disk read + decompress, on the pool) up to this
   /// many upcoming activations. Env override: EBCT_PREFETCH_DEPTH.
   std::size_t prefetch_depth = 2;
+
+  /// Build the graph IR (graph/graph.hpp) at the first training iteration
+  /// and feed its exact per-activation liveness to the pager, replacing
+  /// the put-order eviction heuristic with furthest-next-use and enabling
+  /// shared-stash dedup on branchy models. Off = seed put-order paging;
+  /// training is byte-identical either way. Env override:
+  /// EBCT_GRAPH_LIVENESS (strictly "0" or "1").
+  bool graph_liveness = true;
+
+  /// Run the registered graph rewrite patterns (dead-branch elimination,
+  /// conv+bias folding — graph/rewrite.hpp) over the IR before liveness is
+  /// derived. The rewrites only change the *analysis* graph, never the
+  /// executed network, and default off. Env override: EBCT_GRAPH_REWRITES
+  /// (strictly "0" or "1").
+  bool graph_rewrites = false;
 };
 
 }  // namespace ebct::core

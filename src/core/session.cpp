@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/codec_registry.hpp"
+#include "graph/rewrite.hpp"
 
 namespace ebct::core {
 
@@ -55,24 +56,24 @@ memory::PagerConfig pager_config_from(const FrameworkConfig& fw) {
   return pc;
 }
 
-/// The session's codec choice, in precedence order:
-///   1. the deprecated StoreMode shim when it says something explicit
-///      (kBaseline -> "none", kCustom -> "custom");
-///   2. the EBCT_CODEC env override — so any training binary can be
-///      re-run under a different codec without a rebuild. It replaces a
-///      *codec* spec only: "none"/"custom" select a store topology and a
-///      run that asked for the raw baseline must stay a raw baseline;
-///   3. FrameworkConfig::codec.
+/// Strict boolean env override: only "0" and "1" are accepted — "true",
+/// "yes" or a typo silently meaning "off" would be the same failure mode
+/// env_bytes guards against.
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  if (v[0] == '1' && v[1] == '\0') return true;
+  if (v[0] == '0' && v[1] == '\0') return false;
+  throw std::invalid_argument(std::string(name) + ": expected 0 or 1, got '" + v + "'");
+}
+
+/// The session's codec choice: FrameworkConfig::codec, unless the
+/// EBCT_CODEC env override replaces it — so any training binary can be
+/// re-run under a different codec without a rebuild. The override replaces
+/// a *codec* spec only: "none"/"custom" select a store topology and a
+/// run that asked for the raw baseline must stay a raw baseline.
 std::string resolve_codec_spec(const SessionConfig& cfg) {
   std::string spec = cfg.framework.codec;
-  switch (cfg.mode) {
-    case StoreMode::kBaseline:
-      return "none";
-    case StoreMode::kCustom:
-      return "custom";
-    case StoreMode::kFramework:
-      break;
-  }
   if (spec != "none" && spec != "custom") {
     if (const char* env = std::getenv("EBCT_CODEC"); env != nullptr && env[0] != '\0') {
       if (std::string(env) == "custom") {
@@ -98,6 +99,8 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
       cfg_(cfg),
       codec_spec_(resolve_codec_spec(cfg)),
       sgd_(cfg.sgd) {
+  graph_liveness_ = env_flag("EBCT_GRAPH_LIVENESS", cfg_.framework.graph_liveness);
+  graph_rewrites_ = env_flag("EBCT_GRAPH_REWRITES", cfg_.framework.graph_rewrites);
   if (cfg_.lr_step > 0) {
     schedule_ = std::make_unique<nn::StepLr>(cfg_.base_lr, cfg_.lr_gamma, cfg_.lr_step);
   } else {
@@ -126,7 +129,6 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
 }
 
 void TrainingSession::set_custom_store(nn::ActivationStore* store) {
-  cfg_.mode = StoreMode::kCustom;
   codec_spec_ = "custom";
   net_.set_store(store);
   // Tear down whatever a previous spec built: a live scheme would keep
@@ -136,6 +138,7 @@ void TrainingSession::set_custom_store(nn::ActivationStore* store) {
   framework_store_.reset();
   raw_store_.reset();
   codec_.reset();
+  graph_.reset();
 }
 
 void TrainingSession::run(std::size_t iterations,
@@ -144,6 +147,17 @@ void TrainingSession::run(std::size_t iterations,
   std::vector<std::int32_t> labels;
   for (std::size_t step = 0; step < iterations; ++step) {
     loader_.next(images, labels);
+
+    // The graph IR needs a concrete input shape, which only the first batch
+    // provides — so the build happens here, once, not in the constructor.
+    // Liveness flows to the pager before the first forward so eviction is
+    // furthest-next-use from the very first stash.
+    if (framework_store_ && !graph_ && (graph_liveness_ || graph_rewrites_)) {
+      graph_ = std::make_unique<graph::Graph>(
+          graph::Graph::from_network(net_, images.shape()));
+      if (graph_rewrites_) graph::PatternRegistry::instance().apply_all(*graph_);
+      if (graph_liveness_) framework_store_->set_liveness(graph_->liveness());
+    }
 
     Tensor logits = net_.forward(images, /*train=*/true);
     const std::size_t held = net_.store().held_bytes();

@@ -23,6 +23,7 @@
 #include "core/adaptive.hpp"
 #include "core/config.hpp"
 #include "data/synthetic.hpp"
+#include "graph/graph.hpp"
 #include "memory/pager.hpp"
 #include "nn/network.hpp"
 #include "nn/sgd.hpp"
@@ -30,22 +31,7 @@
 
 namespace ebct::core {
 
-/// DEPRECATED compatibility shim (one release): the pre-registry way of
-/// choosing what a session does with activations. New code selects a codec
-/// spec string through FrameworkConfig::codec instead — "none" replaces
-/// kBaseline, any registry spec replaces kFramework, and "custom" replaces
-/// kCustom. The enum still resolves (see TrainingSession) so out-of-tree
-/// callers keep compiling for one release; it will be removed after that.
-enum class StoreMode {
-  kBaseline,    ///< raw activations (stock framework)      -> codec "none"
-  kFramework,   ///< registry codec + adaptive bound control -> codec spec
-  kCustom,      ///< caller-provided store                   -> codec "custom"
-};
-
 struct SessionConfig {
-  /// DEPRECATED shim, see StoreMode. kFramework (the default) defers to
-  /// framework.codec; the other two values override it.
-  StoreMode mode = StoreMode::kFramework;
   FrameworkConfig framework;
   nn::SgdOptions sgd;
   double base_lr = 0.01;
@@ -91,10 +77,14 @@ class TrainingSession {
   /// The registry-built codec driving the pager (null for "none"/"custom").
   nn::ActivationCodec* codec() { return codec_.get(); }
   /// The codec spec the session resolved (registry spec, "none" or
-  /// "custom") after the StoreMode shim and the EBCT_CODEC override.
+  /// "custom") after the EBCT_CODEC override.
   const std::string& codec_spec() const { return codec_spec_; }
   /// The framework mode's tiered store (null in baseline/custom modes).
   memory::PagedStore* paged_store() { return framework_store_.get(); }
+  /// The graph IR built at the first run() iteration (null before that,
+  /// and always null for "none"/"custom" sessions or when both graph
+  /// features are disabled). Rewrites, when enabled, have been applied.
+  const graph::Graph* graph() const { return graph_.get(); }
   std::size_t iteration() const { return iteration_; }
 
  private:
@@ -110,6 +100,9 @@ class TrainingSession {
   std::unique_ptr<memory::PagedStore> framework_store_;  ///< budget-enforced tiered store
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;
+  std::unique_ptr<graph::Graph> graph_;
+  bool graph_liveness_ = true;   ///< resolved framework.graph_liveness + env
+  bool graph_rewrites_ = false;  ///< resolved framework.graph_rewrites + env
 
   std::vector<IterationRecord> history_;
   std::size_t iteration_ = 0;

@@ -31,6 +31,12 @@ std::map<std::string, double> SzActivationCodec::last_ratios() const {
 EncodedActivation SzActivationCodec::encode(const std::string& layer, const Tensor& act) {
   sz::Config cfg = base_;
   cfg.error_bound = layer_bound(layer);
+  // The 2-D Lorenzo predictor works over rows of the innermost dimension;
+  // the plane width is a property of the tensor, not the spec, so it is
+  // derived per activation here (and again at decode — the stream header
+  // records the predictor but not the width).
+  if (cfg.predictor == sz::Predictor::kLorenzo2D)
+    cfg.plane_width = static_cast<std::uint32_t>(act.shape().dim(act.shape().rank() - 1));
   sz::Compressor comp(cfg);
   sz::CompressedBuffer buf = comp.compress(act.span());
   {
@@ -48,7 +54,10 @@ Tensor SzActivationCodec::decode(const EncodedActivation& enc) {
   sz::CompressedBuffer buf;
   buf.bytes = enc.bytes;  // copy: the store still owns its entry
   buf.num_elements = enc.shape.numel();
-  sz::Compressor comp(base_);
+  sz::Config cfg = base_;
+  if (cfg.predictor == sz::Predictor::kLorenzo2D)
+    cfg.plane_width = static_cast<std::uint32_t>(enc.shape.dim(enc.shape.rank() - 1));
+  sz::Compressor comp(cfg);
   Tensor out(enc.shape);
   comp.decompress(buf, out.span());
   return out;
@@ -58,16 +67,33 @@ void detail::register_sz_codec(CodecRegistry& reg) {
   reg.register_codec(
       {"sz",
        "SZ error-bounded lossy compressor — the framework codec (adaptive-compatible)",
-       "eb=<abs bound>, mode=abs|rel, zero=none|rezero|rle, threads=<n>", true},
+       "eb=<abs bound>, mode=abs|rel, zero=none|rezero|rle, threads=<n>, "
+       "predictor=lorenzo1d|lorenzo2d, block=<n>",
+       true},
       [](const std::string& params, const FrameworkConfig& fw) {
         CodecParams p("sz", params);
         // Spec defaults reproduce what TrainingSession hard-wired before the
         // registry: bootstrap bound, framework zero mode, framework thread
-        // cap — so "sz" with no parameters is byte-identical to the old
-        // StoreMode::kFramework pipeline.
+        // cap — so "sz" with no parameters trains byte-identically to the
+        // pre-registry pipeline.
         sz::Config cfg;
         cfg.error_bound = p.get_double("eb", fw.bootstrap_error_bound);
         cfg.num_threads = p.get_uint("threads", fw.compressor_threads);
+        const std::string predictor = p.get_string("predictor", "lorenzo1d");
+        if (predictor == "lorenzo1d") {
+          cfg.predictor = sz::Predictor::kLorenzo1D;
+        } else if (predictor == "lorenzo2d") {
+          // plane_width stays 0 here: the codec derives it from each
+          // activation's innermost dimension at encode/decode time.
+          cfg.predictor = sz::Predictor::kLorenzo2D;
+        } else {
+          throw std::invalid_argument(
+              "sz: predictor must be lorenzo1d or lorenzo2d, got '" + predictor + "'");
+        }
+        const std::uint32_t block = p.get_uint("block", cfg.block_size);
+        if (block == 0)
+          throw std::invalid_argument("sz: block must be a positive block size");
+        cfg.block_size = block;
         const std::string mode = p.get_string("mode", "abs");
         if (mode == "abs") {
           cfg.bound_mode = sz::BoundMode::kAbsolute;

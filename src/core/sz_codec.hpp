@@ -40,6 +40,15 @@ class SzActivationCodec : public nn::ActivationCodec, public nn::ErrorBoundedCod
     return base_.bound_mode == sz::BoundMode::kAbsolute;
   }
 
+  /// Two layers encode identically iff the bound in force is the same —
+  /// the transform is otherwise layer-blind. Under adaptive per-layer
+  /// bounds this answer changes over time, which is exactly why the pager
+  /// re-asks at every put instead of caching it.
+  bool encoding_layer_invariant(const std::string& a,
+                                const std::string& b) const override {
+    return layer_bound(a) == layer_bound(b);
+  }
+
   const sz::Config& base_config() const { return base_; }
 
  private:

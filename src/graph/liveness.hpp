@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file liveness.hpp
+/// Exact last-use liveness derived from the graph IR, in the form the
+/// ActivationPager consumes (memory/pager.hpp). Two maps, both keyed by
+/// layer name (the key the pager already receives with every put):
+///
+///  - rank: the layer's position in the *actual backward execution order*
+///    (0 = its stash is consumed first). The pager combines rank with the
+///    put sequence into its eviction/prefetch key, so a page's "next use"
+///    is the real backward step that retrieves it — true furthest-next-use
+///    instead of the put-order heuristic. Containers contribute their real
+///    replay order (ResidualBlock runs its main path before its shortcut,
+///    which put-order mispredicts).
+///
+///  - share_group: layers whose lossily-stashed input is the *same produced
+///    tensor* (e.g. the branch-head convolutions of an Inception block all
+///    stash a clone of the block input). Members of one group carry the
+///    same id; the pager may back their pages with one physical payload
+///    when the codec certifies the encoding is identical across the group
+///    (ActivationCodec::encoding_layer_invariant).
+///
+/// A default-constructed (empty) Liveness attached to a pager is
+/// indistinguishable from no liveness at all: every page ranks 0 and the
+/// key degenerates to put order.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ebct::graph {
+
+struct Liveness {
+  /// Backward consumption rank per layer name; lower = consumed sooner.
+  std::map<std::string, std::uint64_t> rank;
+
+  /// Shared-producer groups over lossy-stashing layers; layers absent from
+  /// the map stash a tensor nothing else stashes.
+  std::map<std::string, std::uint32_t> share_group;
+
+  bool empty() const { return rank.empty() && share_group.empty(); }
+};
+
+}  // namespace ebct::graph

@@ -1,0 +1,90 @@
+#include "graph/rewrite.hpp"
+
+#include <stdexcept>
+
+namespace ebct::graph {
+
+bool DeadBranchElimination::apply(Graph& g) const {
+  bool changed = false;
+  const auto& nodes = g.nodes();
+  // Walk back-to-front so a chain dies in one application.
+  for (NodeId id = static_cast<NodeId>(nodes.size()); id-- > 0;) {
+    const Node& n = nodes[id];
+    if (n.dead) continue;
+    bool consumed = false;
+    for (TensorId out : n.outputs) {
+      if (out == g.output() || !g.tensor(out).consumers.empty()) {
+        consumed = true;
+        break;
+      }
+    }
+    if (consumed) continue;
+    g.remove_node(id);
+    changed = true;
+  }
+  return changed;
+}
+
+bool ConvBiasFold::apply(Graph& g) const {
+  bool changed = false;
+  const auto& nodes = g.nodes();
+  for (NodeId id = 0; id < nodes.size(); ++id) {
+    const Node& bias = nodes[id];
+    if (bias.dead || bias.op != "bias" || bias.inputs.size() != 1) continue;
+    const TensorId in = bias.inputs.front();
+    const TensorInfo& t = g.tensor(in);
+    if (t.producer == kNoNode) continue;
+    const Node& conv = g.node(t.producer);
+    if (conv.dead || conv.op != "conv") continue;
+    if (t.consumers.size() != 1) continue;  // conv output also used elsewhere
+    // Splice: consumers of the bias output read the conv output directly.
+    const TensorId bias_out = bias.outputs.front();
+    g.remove_node(id);
+    g.replace_tensor(bias_out, in);
+    changed = true;
+  }
+  return changed;
+}
+
+PatternRegistry& PatternRegistry::instance() {
+  static PatternRegistry reg = [] {
+    PatternRegistry r;
+    r.register_pattern(std::make_unique<DeadBranchElimination>());
+    r.register_pattern(std::make_unique<ConvBiasFold>());
+    return r;
+  }();
+  return reg;
+}
+
+void PatternRegistry::register_pattern(std::unique_ptr<Pattern> p) {
+  if (!p) throw std::invalid_argument("PatternRegistry: null pattern");
+  for (const auto& existing : patterns_) {
+    if (existing->name() == p->name())
+      throw std::invalid_argument("PatternRegistry: duplicate pattern '" + p->name() + "'");
+  }
+  patterns_.push_back(std::move(p));
+}
+
+std::vector<std::string> PatternRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(patterns_.size());
+  for (const auto& p : patterns_) out.push_back(p->name());
+  return out;
+}
+
+std::size_t PatternRegistry::apply_all(Graph& g) const {
+  std::size_t applied = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& p : patterns_) {
+      if (p->apply(g)) {
+        ++applied;
+        changed = true;
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace ebct::graph

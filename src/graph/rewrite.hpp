@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file rewrite.hpp
+/// Pattern-rewrite registry over the graph IR (the willow-style pattern
+/// pass, sized to this codebase). A Pattern inspects the graph and applies
+/// one class of safe transformation; the registry runs every registered
+/// pattern to a fixpoint.
+///
+/// Rewrites are OFF by default and gated by FrameworkConfig::graph_rewrites
+/// (env: EBCT_GRAPH_REWRITES=1). They mutate only the IR — execution still
+/// flows through nn::Network — so today their observable effect is on the
+/// derived liveness and on graph introspection; they are the seam future
+/// recompute/fusion passes plug into. Both built-ins are conservative:
+///
+///  - dead-branch-elimination: removes nodes (transitively) whose outputs
+///    nothing consumes and that do not produce the graph output;
+///  - conv-bias-fold: splices a single-consumer "bias" node into its
+///    producing "conv" node (a conv's own bias add expressed as a separate
+///    node folds into the conv, as every inference optimiser does).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ebct::graph {
+
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+  virtual std::string name() const = 0;
+  /// Apply once; true when the graph changed (the registry re-runs all
+  /// patterns until no pattern reports a change).
+  virtual bool apply(Graph& g) const = 0;
+};
+
+/// Remove nodes whose every output tensor is unconsumed and not the graph
+/// output; iterating to fixpoint erases whole dead chains/branches.
+class DeadBranchElimination : public Pattern {
+ public:
+  std::string name() const override { return "dead-branch-elimination"; }
+  bool apply(Graph& g) const override;
+};
+
+/// Fold op=="bias" nodes into their op=="conv" producer when the conv's
+/// output feeds only the bias node.
+class ConvBiasFold : public Pattern {
+ public:
+  std::string name() const override { return "conv-bias-fold"; }
+  bool apply(Graph& g) const override;
+};
+
+class PatternRegistry {
+ public:
+  /// Process-wide registry with the built-in patterns installed.
+  static PatternRegistry& instance();
+
+  /// Install a pattern. Throws std::invalid_argument on a duplicate name.
+  void register_pattern(std::unique_ptr<Pattern> p);
+
+  std::vector<std::string> names() const;
+
+  /// Run every pattern to a fixpoint; returns the number of applications
+  /// that changed the graph.
+  std::size_t apply_all(Graph& g) const;
+
+ private:
+  PatternRegistry() = default;
+  std::vector<std::unique_ptr<Pattern>> patterns_;
+};
+
+}  // namespace ebct::graph

@@ -89,6 +89,62 @@ ActivationPager::Page* ActivationPager::find_locked(PageId id) const {
   return it == pages_.end() ? nullptr : it->second.get();
 }
 
+PageId ActivationPager::resolve_locked(PageId id) const {
+  auto it = alias_of_.find(id);
+  return it == alias_of_.end() ? id : it->second;
+}
+
+std::uint64_t ActivationPager::rank_for_locked(const std::string& layer) {
+  if (!has_liveness_) return 0;
+  auto it = liveness_.rank.find(layer);
+  if (it != liveness_.rank.end()) {
+    last_rank_ = it->second;
+    return it->second;
+  }
+  return last_rank_;
+}
+
+void ActivationPager::reposition_locked(Page* p) {
+  order_.erase(p->key);
+  OrderKey min = p->members.begin()->second;
+  for (const auto& [id, k] : p->members)
+    if (k < min) min = k;
+  p->key = min;
+  order_[p->key] = p->seq;
+}
+
+void ActivationPager::register_group_locked(const std::string& layer, PageId id) {
+  if (!has_liveness_) return;
+  auto it = liveness_.share_group.find(layer);
+  if (it != liveness_.share_group.end()) group_live_[it->second] = id;
+}
+
+void ActivationPager::erase_page_locked(PageId id) {
+  Page* p = find_locked(id);
+  if (p == nullptr) return;
+  if (p->spilled && spill_) {
+    spill_->free_extent(p->extent);
+    account_sub(Tier::kSpilled, p->extent.size);
+  }
+  if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
+  if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+  order_.erase(p->key);
+  pages_.erase(id);
+}
+
+void ActivationPager::set_liveness(graph::Liveness lv) {
+  std::lock_guard<std::mutex> lock(mu_);
+  liveness_ = std::move(lv);
+  has_liveness_ = true;
+  last_rank_ = 0;
+  group_live_.clear();
+}
+
+bool ActivationPager::has_liveness() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_liveness_;
+}
+
 SpillFile& ActivationPager::spill_file_locked() {
   if (!spill_) spill_ = std::make_unique<SpillFile>(cfg_.spill_dir);
   return *spill_;
@@ -117,6 +173,40 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
   prune_tasks();
   const std::size_t original = t.bytes();
 
+  // Shared-producer dedup: when the graph's edges say this layer stashes
+  // the same produced tensor as a live page of this forward pass (the
+  // stashed clones are byte-equal), and the codec certifies its encoding
+  // does not depend on which of the two layer names it runs under, alias
+  // the existing page instead of encoding a duplicate blob. The alias
+  // reconstructs from the same bytes the skipped encode would have
+  // produced, so training output is unchanged; only the resident footprint
+  // shrinks. Groups never survive a drop (group_live_ is cleared there),
+  // so aliasing can only pair puts from one uninterrupted forward pass.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (has_liveness_) {
+      auto git = liveness_.share_group.find(layer);
+      if (git != liveness_.share_group.end()) {
+        auto live = group_live_.find(git->second);
+        Page* prim = live == group_live_.end() ? nullptr : find_locked(live->second);
+        if (prim != nullptr && !prim->exact && prim->shape == t.shape() &&
+            codec_->encoding_layer_invariant(prim->layer, layer)) {
+          const PageId id = next_++;
+          const OrderKey key{rank_for_locked(layer), id};
+          alias_of_[id] = prim->seq;
+          prim->members.emplace(id, key);
+          reposition_locked(prim);
+          nn::StoreStats& s = stats_[layer];
+          s.stashed_tensors += 1;
+          s.original_bytes += original;
+          totals_.dedup_pages += 1;
+          if (prim->encoded) totals_.dedup_saved_bytes += prim->enc.bytes.size();
+          return id;
+        }
+      }
+    }
+  }
+
   if (!cfg_.async_encode) {
     // Encode on the caller (outside mu_: the codec forks pool tasks, and
     // helping-join loops must never run under the pager lock).
@@ -135,26 +225,22 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
     page->original_bytes = original;
     page->enc = std::move(enc);
     page->encoded = true;
+    page->key = OrderKey{rank_for_locked(layer), id};
+    page->members.emplace(id, page->key);
     account_add(Tier::kCompressed, page->enc.bytes.size());
     nn::StoreStats& s = stats_[layer];
     s.stashed_tensors += 1;
     s.original_bytes += original;
     s.stored_bytes += page->enc.bytes.size();
+    order_[page->key] = id;
     pages_.emplace(id, std::move(page));
+    register_group_locked(layer, id);
     // See put_exact: a failed victim spill must not strand a page whose
     // handle the caller never receives.
     try {
       enforce_to(cfg_.budget_bytes, lock);
     } catch (...) {
-      Page* p = find_locked(id);
-      if (p != nullptr) {
-        if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
-        if (p->spilled && spill_) {
-          spill_->free_extent(p->extent);
-          account_sub(Tier::kSpilled, p->extent.size);
-        }
-        pages_.erase(id);
-      }
+      erase_page_locked(id);
       throw;
     }
     return id;
@@ -180,8 +266,12 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
     p->original_bytes = original;
     p->raw = std::move(t);
     p->io_busy.store(true, std::memory_order_relaxed);
+    p->key = OrderKey{rank_for_locked(layer), id};
+    p->members.emplace(id, p->key);
     account_add(Tier::kRaw, original);
+    order_[p->key] = id;
     pages_.emplace(id, std::move(page));
+    register_group_locked(layer, id);
     // Settle again: when older pages were pinned the pre-insert pass could
     // not make room, and a hard budget beats lifetime order — the new page
     // itself is the last-resort victim (it is io_busy here, so this only
@@ -191,8 +281,7 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
     try {
       enforce_to(cfg_.budget_bytes, lock);
     } catch (...) {
-      account_sub(Tier::kRaw, original);
-      pages_.erase(id);
+      erase_page_locked(id);
       throw;
     }
   }
@@ -241,27 +330,25 @@ PageId ActivationPager::put_exact(const std::string& layer, Tensor&& t) {
   page->shape = t.shape();
   page->original_bytes = bytes;
   page->raw = std::move(t);
+  page->key = OrderKey{rank_for_locked(layer), id};
+  page->members.emplace(id, page->key);
   account_add(Tier::kRaw, bytes);
   nn::StoreStats& s = stats_[layer];
   s.stashed_tensors += 1;
   s.original_bytes += bytes;
   s.stored_bytes += bytes;
+  order_[page->key] = id;
   pages_.emplace(id, std::move(page));
+  // Exact pages are deliberately never registered as dedup candidates: an
+  // alias reconstructs through the shared payload, and the exact contract
+  // promises this page's very own bytes back.
   // Hard budget: if pinned pages blocked the pre-insert pass, the newest
   // page is the last-resort victim. On a failed spill write the caller
   // gets the exception, not a handle — so the page must not stay behind.
   try {
     enforce_to(cfg_.budget_bytes, lock);
   } catch (...) {
-    Page* p = find_locked(id);
-    if (p != nullptr) {
-      if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
-      if (p->spilled && spill_) {
-        spill_->free_extent(p->extent);
-        account_sub(Tier::kSpilled, p->extent.size);
-      }
-      pages_.erase(id);
-    }
+    erase_page_locked(id);
     throw;
   }
   return id;
@@ -344,7 +431,7 @@ void ActivationPager::materialize(Page* p, std::unique_lock<std::mutex>& lock) {
 
 const Tensor& ActivationPager::pin(PageId id) {
   std::unique_lock<std::mutex> lock(mu_);
-  Page* p = find_locked(id);
+  Page* p = find_locked(resolve_locked(id));
   if (p == nullptr) throw std::logic_error("ActivationPager::pin: unknown handle");
   wait_io(p, lock);
   if (p->error) std::rethrow_exception(p->error);
@@ -355,7 +442,7 @@ const Tensor& ActivationPager::pin(PageId id) {
 
 void ActivationPager::unpin(PageId id) {
   std::unique_lock<std::mutex> lock(mu_);
-  Page* p = find_locked(id);
+  Page* p = find_locked(resolve_locked(id));
   if (p == nullptr) throw std::logic_error("ActivationPager::unpin: unknown handle");
   if (p->pin_count <= 0) throw std::logic_error("ActivationPager::unpin: not pinned");
   p->pin_count -= 1;
@@ -365,24 +452,38 @@ void ActivationPager::unpin(PageId id) {
 Tensor ActivationPager::drop(PageId id) {
   prune_tasks();
   std::unique_lock<std::mutex> lock(mu_);
-  Page* p = find_locked(id);
+  // Any drop means some stash has started to be consumed, so the current
+  // forward pass is over: tensors put after this point belong to a new
+  // pass and can never be byte-equal to a page of the old one.
+  group_live_.clear();
+  const PageId prim_id = resolve_locked(id);
+  Page* p = find_locked(prim_id);
   if (p == nullptr) throw std::logic_error("ActivationPager::drop: unknown handle");
   if (p->pin_count > 0) throw std::logic_error("ActivationPager::drop: page is pinned");
   wait_io(p, lock);
 
-  auto erase_page = [&] {
-    if (p->spilled && spill_) {
-      spill_->free_extent(p->extent);
-      account_sub(Tier::kSpilled, p->extent.size);
+  auto member = p->members.find(id);
+  if (member == p->members.end())
+    throw std::logic_error("ActivationPager::drop: unknown handle");
+  const OrderKey dropped_key = member->second;
+  const bool last = p->members.size() <= 1;
+
+  // Detach this member; when it is not the last, the page survives so the
+  // remaining handles stay valid, and its eviction key advances to the
+  // nearest use among the survivors.
+  auto detach_member = [&] {
+    alias_of_.erase(id);
+    if (last) {
+      erase_page_locked(prim_id);
+    } else {
+      p->members.erase(member);
+      reposition_locked(p);
     }
-    if (p->raw.numel() > 0) account_sub(Tier::kRaw, p->raw.bytes());
-    if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
-    pages_.erase(id);
   };
 
   if (p->error) {
     std::exception_ptr err = p->error;
-    erase_page();
+    detach_member();
     std::rethrow_exception(err);
   }
 
@@ -390,35 +491,48 @@ Tensor ActivationPager::drop(PageId id) {
   try {
     materialize(p, lock);
   } catch (...) {
-    erase_page();
+    detach_member();
     throw;
   }
 
-  Tensor out = std::move(p->raw);
-  account_sub(Tier::kRaw, out.bytes());
-  if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
-  if (p->spilled && spill_) {
-    spill_->free_extent(p->extent);
-    account_sub(Tier::kSpilled, p->extent.size);
+  Tensor out;
+  if (last) {
+    out = std::move(p->raw);
+    account_sub(Tier::kRaw, out.bytes());
+    if (p->encoded) account_sub(Tier::kCompressed, p->enc.bytes.size());
+    if (p->spilled && spill_) {
+      spill_->free_extent(p->extent);
+      account_sub(Tier::kSpilled, p->extent.size);
+    }
+    order_.erase(p->key);
+    pages_.erase(prim_id);
+    alias_of_.erase(id);
+  } else {
+    // Sibling handles still need these bytes: hand out a copy and keep the
+    // raw as an evictable (pass-1) cache for their drops.
+    out = p->raw.clone();
+    p->members.erase(member);
+    alias_of_.erase(id);
+    reposition_locked(p);
   }
-  const PageId seq = p->seq;
-  pages_.erase(id);
   if (hit) {
     totals_.prefetch_hits += 1;
     TierAccounting::instance().on_prefetch_hit();
   }
-  prefetch_ahead(seq, lock);
+  prefetch_ahead(&dropped_key, lock);
   return out;
 }
 
 void ActivationPager::prepare_backward() {
   std::unique_lock<std::mutex> lock(mu_);
-  prefetch_ahead(~PageId{0}, lock);
+  prefetch_ahead(nullptr, lock);
 }
 
 // ---------------------------------------------------------------------------
 // Budget enforcement: free duplicate raw caches first (no I/O), then spill
-// ascending sequence — the page put earliest is needed last.
+// furthest-next-use first. order_ ascends toward the next consumption, so
+// both passes walk it in reverse. Without liveness every rank is 0 and the
+// reverse walk is exactly ascending put sequence — the seed policy.
 // ---------------------------------------------------------------------------
 
 void ActivationPager::enforce_to(std::size_t target_bytes,
@@ -433,9 +547,10 @@ void ActivationPager::enforce_to(std::size_t target_bytes,
   };
 
   // Pass 1: drop tier-0 caches whose bytes also exist as a blob or extent.
-  for (auto& [id, page] : pages_) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
     if (resident() <= target_bytes) return;
-    Page* p = page.get();
+    Page* p = find_locked(it->second);
+    if (p == nullptr) continue;
     if (p->pin_count > 0 || p->io_busy.load(std::memory_order_relaxed)) continue;
     if (p->raw.numel() > 0 && (p->encoded || p->spilled)) {
       account_sub(Tier::kRaw, p->raw.bytes());
@@ -446,12 +561,13 @@ void ActivationPager::enforce_to(std::size_t target_bytes,
     }
   }
 
-  // Pass 2: spill to disk. The map can change while the lock is dropped
-  // around the write, so rescan from the front each round.
+  // Pass 2: spill to disk. The maps can change while the lock is dropped
+  // around the write, so rescan from the far end each round.
   while (resident() > target_bytes) {
     Page* victim = nullptr;
-    for (auto& [id, page] : pages_) {
-      Page* p = page.get();
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      Page* p = find_locked(it->second);
+      if (p == nullptr) continue;
       if (p->pin_count > 0 || p->io_busy.load(std::memory_order_relaxed)) continue;
       if (p->spilled) continue;  // RAM copy (if any) was freed in pass 1
       if (p->encoded || (p->exact && p->raw.numel() > 0)) {
@@ -514,7 +630,7 @@ bool ActivationPager::spill_payload(Page* p, std::unique_lock<std::mutex>& lock)
 
 void ActivationPager::spill(PageId id) {
   std::unique_lock<std::mutex> lock(mu_);
-  Page* p = find_locked(id);
+  Page* p = find_locked(resolve_locked(id));
   if (p == nullptr) throw std::logic_error("ActivationPager::spill: unknown handle");
   if (p->pin_count > 0) throw std::logic_error("ActivationPager::spill: page is pinned");
   wait_io(p, lock);
@@ -534,7 +650,8 @@ void ActivationPager::spill(PageId id) {
 // Backward-pass prefetch.
 // ---------------------------------------------------------------------------
 
-void ActivationPager::prefetch_ahead(PageId before_seq, std::unique_lock<std::mutex>& lock) {
+void ActivationPager::prefetch_ahead(const OrderKey* after,
+                                     std::unique_lock<std::mutex>& lock) {
   if (cfg_.prefetch_depth == 0 || pages_.empty()) return;
   // Admission reserve: the consumer is about to materialize a page of its
   // own (typically the largest outstanding one), and in-flight fetches
@@ -549,10 +666,13 @@ void ActivationPager::prefetch_ahead(PageId before_seq, std::unique_lock<std::mu
   }
   std::vector<Page*> submit;
   std::size_t window = 0;
-  auto it = pages_.lower_bound(before_seq);
-  while (it != pages_.begin() && window < cfg_.prefetch_depth) {
-    --it;
-    Page* p = it->second.get();
+  // order_ ascends toward the next consumption, so the pages needed soonest
+  // after the just-dropped key sit right past its upper bound. nullptr means
+  // the backward pass has not consumed anything yet: start from the front.
+  for (auto it = after ? order_.upper_bound(*after) : order_.begin();
+       it != order_.end() && window < cfg_.prefetch_depth; ++it) {
+    Page* p = find_locked(it->second);
+    if (p == nullptr) continue;
     if (p->raw.numel() > 0 || p->io_busy.load(std::memory_order_relaxed)) {
       ++window;  // already materialized or being fetched: occupies the window
       continue;
@@ -562,7 +682,7 @@ void ActivationPager::prefetch_ahead(PageId before_seq, std::unique_lock<std::mu
     if (cfg_.budget_bytes != 0 &&
         raw_bytes_ + compressed_bytes_ + pending_fetch_bytes_ + need + reserve >
             cfg_.budget_bytes) {
-      break;  // no headroom; lower-sequence pages are needed even later
+      break;  // no headroom; later pages are needed even later
     }
     p->io_busy.store(true, std::memory_order_relaxed);
     pending_fetch_bytes_ += need;
@@ -629,7 +749,7 @@ void ActivationPager::drain() {
 
 Tier ActivationPager::tier(PageId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const Page* p = find_locked(id);
+  const Page* p = find_locked(resolve_locked(id));
   if (p == nullptr) throw std::logic_error("ActivationPager::tier: unknown handle");
   if (p->raw.numel() > 0) return Tier::kRaw;
   if (p->encoded) return Tier::kCompressed;

@@ -14,12 +14,25 @@
 ///                         guarded by a checksum so corruption fails loudly.
 ///
 /// A configurable budget caps tiers 0+1 (RAM residency). When a put, pin or
-/// prefetch would exceed it the pager evicts by a lifetime heuristic: pages
-/// are keyed by their put sequence, which equals the forward-pass layer
-/// order, and the backward pass consumes them in LIFO order — so the page
-/// put *earliest* (shallowest layer) is needed *last* and is evicted first.
-/// Eviction prefers freeing duplicate raw caches (no I/O), then spills
-/// blobs (or exact raw bytes) to disk ascending that key.
+/// prefetch would exceed it the pager evicts by lifetime: every page carries
+/// an order key (liveness rank, put sequence) approximating when the
+/// backward pass will consume it, and the page needed *furthest* in the
+/// future is evicted first. Without a graph attached the rank is always 0
+/// and the key degenerates to the classic put-order heuristic (put order ==
+/// forward layer order, consumed LIFO). With set_liveness() — ranks derived
+/// from the graph IR's edges (graph/liveness.hpp) — the key is the *exact*
+/// backward step that retrieves the page, which diverges from put order
+/// wherever containers replay children out of stash order (a
+/// ResidualBlock's shortcut). Eviction prefers freeing duplicate raw caches
+/// (no I/O), then spills blobs (or exact raw bytes) to disk in that order.
+///
+/// Liveness also carries shared-producer groups: layers that lossily stash
+/// the *same produced tensor* (Inception branch heads each cloning the
+/// block input). When the codec certifies its encoding is identical across
+/// two such layers (ActivationCodec::encoding_layer_invariant), later puts
+/// of a group alias the first page instead of encoding a duplicate blob —
+/// one physical payload, per-member handles — shrinking the resident
+/// footprint without changing any reconstructed byte.
 ///
 /// Determinism contract: the lossy codec transform is applied exactly once
 /// per put — at encode — regardless of budget, pool size or prefetch
@@ -44,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/liveness.hpp"
 #include "memory/accounting.hpp"
 #include "memory/spill_file.hpp"
 #include "nn/activation_store.hpp"
@@ -89,6 +103,8 @@ struct PagerCounters {
   std::size_t prefetch_submitted = 0;
   std::size_t prefetch_hits = 0;
   std::size_t over_budget_events = 0;
+  std::size_t dedup_pages = 0;        ///< puts served by aliasing a group page
+  std::size_t dedup_saved_bytes = 0;  ///< blob bytes those aliases did not add
 };
 
 using PageId = std::uint64_t;
@@ -121,9 +137,17 @@ class ActivationPager {
   /// unknown or pinned handles; rethrows codec/spill failures.
   tensor::Tensor drop(PageId id);
 
-  /// Hint that drops will now replay in LIFO order: prefetch the last
-  /// `prefetch_depth` pages (the backward pass's first needs).
+  /// Hint that drops will now replay in consumption order: prefetch the
+  /// first-consumed `prefetch_depth` pages (the backward pass's first
+  /// needs — the last puts when no liveness is attached).
   void prepare_backward();
+
+  /// Attach exact liveness derived from the graph IR. Future puts are
+  /// keyed by (backward rank, sequence) instead of put order, and
+  /// shared-producer groups become eligible for payload aliasing. Call
+  /// before training; pages already stored keep their put-order keys.
+  void set_liveness(graph::Liveness lv);
+  bool has_liveness() const;
 
   /// Force a page down to the disk tier (explicit offload, used by the
   /// hybrid store's migration route). No-op if already spilled.
@@ -145,6 +169,20 @@ class ActivationPager {
   std::string spill_path() const;
 
  private:
+  /// Eviction/prefetch key: consumption order is ascending rank then
+  /// *descending* sequence (LIFO among equally-ranked pages), so ascending
+  /// OrderKey == the order the backward pass will drop pages. With no
+  /// liveness every rank is 0 and the key reduces to reverse put order —
+  /// bit-identical to the pre-liveness pager.
+  struct OrderKey {
+    std::uint64_t rank = 0;
+    PageId seq = 0;
+    bool operator<(const OrderKey& o) const {
+      if (rank != o.rank) return rank < o.rank;
+      return seq > o.seq;
+    }
+  };
+
   struct Page {
     std::string layer;
     PageId seq = 0;             ///< put order == forward layer order
@@ -168,9 +206,31 @@ class ActivationPager {
     /// Future lives in the pager-level task list, not here.
     std::atomic<bool> io_busy{false};
     std::exception_ptr error;       ///< deferred async failure, thrown at use
+
+    /// Current position in order_ — the earliest consumption among members.
+    OrderKey key;
+    /// Every live handle sharing this page's payload (the page's own id
+    /// included), each with its own consumption key. Size 1 except for
+    /// shared-producer groups.
+    std::map<PageId, OrderKey> members;
   };
 
+  /// Alias handle -> owning page id (identity for non-aliases).
+  PageId resolve_locked(PageId id) const;
   Page* find_locked(PageId id) const;
+  /// Backward rank for `layer` under the attached liveness; layers absent
+  /// from the rank map (auxiliary stashes such as LRN's ".scale") inherit
+  /// the rank of the most recent ranked put, which preserves within-layer
+  /// LIFO. Always 0 without liveness. Updates last_rank_; mu_ held.
+  std::uint64_t rank_for_locked(const std::string& layer);
+  /// Recompute the page's order_ position as the min member key; mu_ held.
+  void reposition_locked(Page* p);
+  /// Record the page as its share group's live primary (no-op when the
+  /// layer is in no group); mu_ held.
+  void register_group_locked(const std::string& layer, PageId id);
+  /// Release every resource of the page and erase it (order_ included);
+  /// mu_ held. Does not touch alias_of_ entries of other members.
+  void erase_page_locked(PageId id);
   /// Wait (helping the pool) until the page's in-flight task finishes.
   /// Expects `lock` held; returns with it re-held.
   void wait_io(Page* p, std::unique_lock<std::mutex>& lock);
@@ -194,7 +254,9 @@ class ActivationPager {
   std::size_t target_for(std::size_t incoming) const {
     return incoming >= cfg_.budget_bytes ? 0 : cfg_.budget_bytes - incoming;
   }
-  void prefetch_ahead(PageId before_seq, std::unique_lock<std::mutex>& lock);
+  /// Prefetch the next pages in consumption order: strictly after `after`,
+  /// or from the first-consumed page when null (prepare_backward).
+  void prefetch_ahead(const OrderKey* after, std::unique_lock<std::mutex>& lock);
   void submit_fetch(Page* p);
   SpillFile& spill_file_locked();
 
@@ -207,6 +269,17 @@ class ActivationPager {
 
   mutable std::mutex mu_;
   std::map<PageId, std::unique_ptr<Page>> pages_;  ///< ordered by seq
+  /// Pages by consumption order (one entry per page, keyed by the min
+  /// member key): ascending = drop order, descending = eviction order.
+  std::map<OrderKey, PageId> order_;
+  /// Alias handle -> owning page (shared-producer group members).
+  std::map<PageId, PageId> alias_of_;
+  /// Share group id -> the group's live primary page this forward pass;
+  /// cleared on every drop (content changes between passes).
+  std::map<std::uint32_t, PageId> group_live_;
+  graph::Liveness liveness_;
+  bool has_liveness_ = false;
+  std::uint64_t last_rank_ = 0;
   PageId next_ = 1;
   std::unique_ptr<SpillFile> spill_;  ///< created on first spill
 
@@ -254,6 +327,9 @@ class PagedStore : public nn::ActivationStore {
     return pager_.drop(handle);
   }
   void prepare_backward() override { pager_.prepare_backward(); }
+
+  /// Forward exact graph-derived liveness to the pager.
+  void set_liveness(graph::Liveness lv) { pager_.set_liveness(std::move(lv)); }
 
   /// Block until pending async encodes/prefetches land (tests, shutdown).
   void drain() { pager_.drain(); }

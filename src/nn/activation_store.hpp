@@ -122,6 +122,17 @@ class ActivationCodec {
   /// hook: codecs that don't track ratios report nothing and consumers
   /// (IterationRecord's mean ratio, the benches) degrade gracefully.
   virtual std::map<std::string, double> last_ratios() const { return {}; }
+
+  /// True when encode(a, t) and encode(b, t) are guaranteed byte-identical
+  /// for every tensor t *right now* — i.e. the codec's transform does not
+  /// depend on which of the two layer names it runs under. The pager's
+  /// shared-stash dedup only aliases two puts when this holds, so a codec
+  /// with per-layer state (adaptive error bounds, per-layer quality) must
+  /// answer from its current configuration. Default is the safe "no".
+  virtual bool encoding_layer_invariant(const std::string& /*a*/,
+                                        const std::string& /*b*/) const {
+    return false;
+  }
 };
 
 /// Capability sub-interface of ActivationCodec: a codec whose per-element

@@ -19,6 +19,7 @@ class BatchNorm : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string graph_op() const override { return "bn"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override { return input; }
 
   std::span<const float> running_mean() const { return {running_mean_.data(), channels_}; }

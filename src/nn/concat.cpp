@@ -3,7 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "nn/residual.hpp"
+#include "graph/graph.hpp"
 #include "tensor/ops.hpp"
 
 namespace ebct::nn {
@@ -24,15 +24,28 @@ void ConcatBranches::set_store(ActivationStore* store) {
 }
 
 void ConcatBranches::visit(const std::function<void(Layer&)>& fn) {
-  for (auto& branch : branches_) {
-    for (auto& l : branch) {
-      if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
-        rb->visit(fn);
-      else if (auto* cb = dynamic_cast<ConcatBranches*>(l.get()))
-        cb->visit(fn);
-      else
-        fn(*l);
-    }
+  fn(*this);
+  for (auto& branch : branches_)
+    for (auto& l : branch) l->visit(fn);
+}
+
+graph::TensorId ConcatBranches::build_graph(graph::Graph& g, graph::TensorId input) const {
+  std::vector<graph::TensorId> outs;
+  outs.reserve(branches_.size());
+  for (const auto& branch : branches_) {
+    graph::TensorId t = input;
+    for (const auto& l : branch) t = l->build_graph(g, t);
+    outs.push_back(t);
+  }
+  return g.add_node(name_, "concat", this, std::move(outs),
+                    output_shape(g.tensor(input).shape));
+}
+
+void ConcatBranches::backward_schedule(std::vector<const Layer*>& order) const {
+  for (std::size_t b = branches_.size(); b > 0; --b) {
+    const auto& branch = branches_[b - 1];
+    for (std::size_t i = branch.size(); i > 0; --i)
+      branch[i - 1]->backward_schedule(order);
   }
 }
 

@@ -27,8 +27,17 @@ class ConcatBranches : public Layer {
   void set_store(ActivationStore* store) override;
   std::size_t activation_bytes(const tensor::Shape& input) const override;
 
-  /// Visit every leaf layer inside all branches.
-  void visit(const std::function<void(Layer&)>& fn);
+  /// Visit the block itself, then every child in every branch.
+  void visit(const std::function<void(Layer&)>& fn) override;
+
+  /// IR: one chain per branch from the shared input tensor (an empty
+  /// branch passes the input tensor through), joined by a "concat" node —
+  /// the edges that expose the branch-head layers as co-consumers of one
+  /// produced tensor (the pager's shared-stash groups come from this).
+  graph::TensorId build_graph(graph::Graph& g, graph::TensorId input) const override;
+
+  /// Mirrors backward(): branches in reverse forward order, each reversed.
+  void backward_schedule(std::vector<const Layer*>& order) const override;
 
   std::size_t num_branches() const { return branches_.size(); }
 

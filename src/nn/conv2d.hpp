@@ -38,6 +38,7 @@ class Conv2d : public Layer {
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<Param*> params() override;
   bool uses_activation_store() const override { return true; }
+  std::string graph_op() const override { return "conv"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override;
   std::size_t activation_bytes(const tensor::Shape& input) const override {
     return input.numel() * sizeof(float);

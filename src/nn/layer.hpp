@@ -6,6 +6,8 @@
 /// backward() consumes them in LIFO order, mirroring how Caffe keeps
 /// per-layer bottom data alive between the passes.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +15,11 @@
 #include "nn/activation_store.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/tensor.hpp"
+
+namespace ebct::graph {
+class Graph;
+using TensorId = std::uint32_t;
+}  // namespace ebct::graph
 
 namespace ebct::nn {
 
@@ -64,6 +71,28 @@ class Layer {
   virtual std::size_t activation_bytes(const tensor::Shape& input) const {
     (void)input;
     return 0;
+  }
+
+  /// Apply `fn` to this layer, then (for containers) to every child.
+  /// Every layer in the tree is visited exactly once — containers included,
+  /// unlike the old dynamic_cast recursion that silently skipped them.
+  virtual void visit(const std::function<void(Layer&)>& fn) { fn(*this); }
+
+  /// Short op tag for the graph IR ("conv", "relu", ...). Drives the
+  /// pattern matchers in graph/rewrite.hpp; the default is a generic tag.
+  virtual std::string graph_op() const { return "op"; }
+
+  /// Append this layer's node(s) to the graph IR, consuming tensor
+  /// `input`; returns the produced tensor. The default emits one node with
+  /// shape inferred through output_shape(); containers override to expose
+  /// their internal edges (graph/graph.hpp). Implemented in layer.cpp.
+  virtual graph::TensorId build_graph(graph::Graph& g, graph::TensorId input) const;
+
+  /// Append the layers of this subtree in *actual backward execution
+  /// order* (the order backward() consumes stashes). Leaves append
+  /// themselves; containers override to mirror their backward() bodies.
+  virtual void backward_schedule(std::vector<const Layer*>& order) const {
+    order.push_back(this);
   }
 
  protected:

@@ -15,6 +15,7 @@ class Linear : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string graph_op() const override { return "linear"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override {
     return tensor::Shape{input.n(), out_features_};
   }

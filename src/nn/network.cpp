@@ -1,8 +1,5 @@
 #include "nn/network.hpp"
 
-#include "nn/concat.hpp"
-#include "nn/residual.hpp"
-
 namespace ebct::nn {
 
 using tensor::Shape;
@@ -43,14 +40,18 @@ void Network::zero_grad() {
 }
 
 void Network::visit(const std::function<void(Layer&)>& fn) {
-  for (auto& l : layers_) {
-    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
-      rb->visit(fn);
-    else if (auto* cb = dynamic_cast<ConcatBranches*>(l.get()))
-      cb->visit(fn);
-    else
-      fn(*l);
-  }
+  for (auto& l : layers_) l->visit(fn);
+}
+
+graph::TensorId Network::build_graph(graph::Graph& g, graph::TensorId input) const {
+  graph::TensorId t = input;
+  for (const auto& l : layers_) t = l->build_graph(g, t);
+  return t;
+}
+
+void Network::backward_schedule(std::vector<const Layer*>& order) const {
+  for (std::size_t i = layers_.size(); i > 0; --i)
+    layers_[i - 1]->backward_schedule(order);
 }
 
 std::vector<std::pair<std::string, Shape>> Network::shape_trace(const Shape& input) const {

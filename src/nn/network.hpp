@@ -38,8 +38,16 @@ class Network {
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
 
-  /// Visit every leaf layer, descending into residual blocks.
+  /// Visit every layer — containers *and* their children — via the
+  /// virtual Layer::visit (each layer is visited exactly once).
   void visit(const std::function<void(Layer&)>& fn);
+
+  /// Append this network's chain to the graph IR; returns the output
+  /// tensor (see graph/graph.hpp, used by Graph::from_network).
+  graph::TensorId build_graph(graph::Graph& g, graph::TensorId input) const;
+
+  /// Layers in actual backward execution order (containers expanded).
+  void backward_schedule(std::vector<const Layer*>& order) const;
 
   /// Shape trace for an input shape: (layer name, output shape) per layer.
   std::vector<std::pair<std::string, tensor::Shape>> shape_trace(

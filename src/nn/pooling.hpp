@@ -24,6 +24,7 @@ class MaxPool : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string graph_op() const override { return "maxpool"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override;
 
  private:
@@ -43,6 +44,7 @@ class AvgPool : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string graph_op() const override { return "avgpool"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override;
 
  private:

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "graph/graph.hpp"
 #include "tensor/ops.hpp"
 
 namespace ebct::nn {
@@ -25,18 +26,27 @@ void ResidualBlock::set_store(ActivationStore* store) {
 }
 
 void ResidualBlock::visit(const std::function<void(Layer&)>& fn) {
-  for (auto& l : main_) {
-    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
-      rb->visit(fn);
-    else
-      fn(*l);
-  }
-  for (auto& l : shortcut_) {
-    if (auto* rb = dynamic_cast<ResidualBlock*>(l.get()))
-      rb->visit(fn);
-    else
-      fn(*l);
-  }
+  fn(*this);
+  for (auto& l : main_) l->visit(fn);
+  for (auto& l : shortcut_) l->visit(fn);
+  out_relu_.visit(fn);
+}
+
+graph::TensorId ResidualBlock::build_graph(graph::Graph& g, graph::TensorId input) const {
+  graph::TensorId y = input;
+  for (const auto& l : main_) y = l->build_graph(g, y);
+  graph::TensorId sc = input;
+  for (const auto& l : shortcut_) sc = l->build_graph(g, sc);
+  const graph::TensorId sum =
+      g.add_node(name_ + ".add", "add", nullptr, {y, sc}, g.tensor(y).shape);
+  return out_relu_.build_graph(g, sum);
+}
+
+void ResidualBlock::backward_schedule(std::vector<const Layer*>& order) const {
+  out_relu_.backward_schedule(order);
+  for (std::size_t i = main_.size(); i > 0; --i) main_[i - 1]->backward_schedule(order);
+  for (std::size_t i = shortcut_.size(); i > 0; --i)
+    shortcut_[i - 1]->backward_schedule(order);
 }
 
 Shape ResidualBlock::output_shape(const Shape& input) const {

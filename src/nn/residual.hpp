@@ -28,9 +28,17 @@ class ResidualBlock : public Layer {
   void set_store(ActivationStore* store) override;
   std::size_t activation_bytes(const tensor::Shape& input) const override;
 
-  /// Apply `fn` to every leaf layer inside the block (for statistics
-  /// collection over nested convolutions).
-  void visit(const std::function<void(Layer&)>& fn);
+  /// Visit the block itself, then every child (including the output ReLU).
+  void visit(const std::function<void(Layer&)>& fn) override;
+
+  /// IR: main chain and shortcut chain from the same input tensor, joined
+  /// by an explicit "add" node, then the output ReLU.
+  graph::TensorId build_graph(graph::Graph& g, graph::TensorId input) const override;
+
+  /// Mirrors backward(): output ReLU, main path reversed, shortcut
+  /// reversed — deliberately *not* LIFO with respect to the forward
+  /// stash order (the shortcut stashes last but is consumed last).
+  void backward_schedule(std::vector<const Layer*>& order) const override;
 
  private:
   std::vector<std::unique_ptr<Layer>> main_;

@@ -20,6 +20,7 @@ class ReLU : public Layer {
 
   tensor::Tensor forward(const tensor::Tensor& input, bool train) override;
   tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::string graph_op() const override { return "relu"; }
   tensor::Shape output_shape(const tensor::Shape& input) const override { return input; }
 
  private:

@@ -226,8 +226,50 @@ TEST(ConcatLayer, VisitReachesAllLeaves) {
   Rng rng(609);
   auto cb = two_branch(rng);
   int count = 0;
-  cb->visit([&](nn::Layer&) { ++count; });
-  EXPECT_EQ(count, 2);
+  int containers = 0;
+  cb->visit([&](nn::Layer& l) {
+    ++count;
+    if (dynamic_cast<nn::ConcatBranches*>(&l) != nullptr) ++containers;
+  });
+  // visit() covers the node itself *and* every child: the block plus its
+  // two branch leaves.
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(containers, 1);
+}
+
+TEST(ConcatLayer, EmptyBranchStashesNothingAndPassesGradThrough) {
+  Rng rng(613);
+  std::vector<std::vector<std::unique_ptr<nn::Layer>>> branches;
+  branches.emplace_back();  // identity
+  {
+    std::vector<std::unique_ptr<nn::Layer>> b;
+    b.push_back(std::make_unique<nn::Conv2d>("cb.conv",
+                                             nn::Conv2dSpec{2, 3, 3, 1, 1, false}, rng));
+    branches.push_back(std::move(b));
+  }
+  nn::ConcatBranches cb("cb", std::move(branches));
+  nn::RawStore store;
+  cb.set_store(&store);
+  const Shape in = Shape::nchw(1, 2, 4, 4);
+
+  // The identity branch stashes nothing: activation accounting counts only
+  // the conv branch's input, and the store agrees after a training forward
+  // (the empty branch's forward clone is transient, never stashed).
+  EXPECT_EQ(cb.activation_bytes(in), in.numel() * sizeof(float));
+  Tensor x = testutil::random_tensor(in, 614);
+  Tensor y = cb.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape::nchw(1, 5, 4, 4));
+  EXPECT_EQ(store.held_bytes(), cb.activation_bytes(in));
+
+  // Gradient routed to the identity slice passes through verbatim; the conv
+  // branch receives zeros and contributes zeros.
+  Tensor g(y.shape(), 0.0f);
+  const std::size_t hw = 16;
+  for (std::size_t i = 0; i < 2 * hw; ++i) g[i] = static_cast<float>(i) + 1.0f;
+  Tensor gi = cb.backward(g);
+  ASSERT_EQ(gi.shape(), in);
+  for (std::size_t i = 0; i < 2 * hw; ++i) EXPECT_FLOAT_EQ(gi[i], g[i]);
+  EXPECT_EQ(store.held_bytes(), 0u);  // backward drained the stash
 }
 
 // --- Inception-V4 ---------------------------------------------------------------

@@ -206,24 +206,6 @@ TEST(TrainingSessionTest, CallbackObservesEveryIteration) {
   EXPECT_EQ(calls, 7u);
 }
 
-TEST(TrainingSessionTest, StoreModeShimStillResolves) {
-  // One-release compatibility: the deprecated StoreMode enum keeps
-  // selecting stores until out-of-tree callers migrate to codec specs.
-  auto net = models::make_resnet18(tiny_model());
-  data::SyntheticImageDataset ds(tiny_data());
-  data::DataLoader loader(ds, 8, true, true);
-  SessionConfig cfg;
-  cfg.mode = StoreMode::kBaseline;
-  cfg.framework.codec = "sz";  // ignored: the shim wins when explicit
-  TrainingSession session(*net, loader, cfg);
-  EXPECT_EQ(session.codec_spec(), "none");
-  EXPECT_EQ(session.codec(), nullptr);
-  session.run(2);
-  EXPECT_EQ(session.history().size(), 2u);
-  EXPECT_DOUBLE_EQ(session.history().back().mean_compression_ratio, 0.0);
-  EXPECT_FALSE(session.history().back().adaptive_active);
-}
-
 TEST(TrainingSessionTest, NonErrorBoundedCodecTrainsWithAdaptiveDisabled) {
   // The paper's comparator path, now first-class: JPEG-ACT drives the full
   // session + pager pipeline from a config string, and the adaptive scheme
@@ -232,7 +214,6 @@ TEST(TrainingSessionTest, NonErrorBoundedCodecTrainsWithAdaptiveDisabled) {
   data::SyntheticImageDataset ds(tiny_data());
   data::DataLoader loader(ds, 8, true, true);
   SessionConfig cfg;
-  cfg.mode = StoreMode::kFramework;  // shim default defers to the spec below
   cfg.framework.codec = "jpeg-act:quality=90";
   cfg.framework.active_factor_w = 3;
   cfg.base_lr = 0.01;
