@@ -51,7 +51,7 @@ struct SweepPoint {
 };
 
 SweepPoint train(std::size_t budget, std::size_t iterations, bool async_encode,
-                 std::uint32_t codec_cap) {
+                 std::uint32_t codec_cap, bool write_behind = false) {
   models::ModelConfig mcfg;
   mcfg.input_hw = 16;
   mcfg.num_classes = 4;
@@ -73,6 +73,7 @@ SweepPoint train(std::size_t budget, std::size_t iterations, bool async_encode,
   cfg.framework.memory_budget_bytes = budget;
   cfg.framework.async_compression = async_encode;
   cfg.framework.compressor_threads = codec_cap;
+  cfg.framework.write_behind = write_behind;
   cfg.base_lr = 0.05;
   core::TrainingSession session(*net, loader, cfg);
 
@@ -176,6 +177,40 @@ int main(int argc, char** argv) {
       check(p.pager.spill_write_bytes > 0,
             "a budget at <=50% of peak actually reaches the disk tier");
     }
+  }
+
+  // Write-behind spill queue under the same ladder points that reach disk:
+  // spill writes are issued asynchronously, but victim selection projects
+  // queued blobs as already gone while the budget check still counts their
+  // bytes as resident — so the overshoot gate, the spill-file-leak gate and
+  // bitwise trajectory identity must all hold exactly as in the synchronous
+  // sweep above.
+  for (const double frac : {0.5, 0.25}) {
+    const std::size_t budget =
+        static_cast<std::size_t>(static_cast<double>(peak) * frac);
+    const SweepPoint p = train(budget, iters, false, 0, /*write_behind=*/true);
+    const bool respected = p.pager.peak_resident_bytes <= budget;
+    const bool identical = p.losses == ref.losses;
+    char name[40];
+    std::snprintf(name, sizeof(name), "budget_%d%%_writebehind",
+                  static_cast<int>(frac * 100));
+    std::printf("%-24s %6.2f iter/s  peak %-12s spilled %-12s %s %s\n", name,
+                static_cast<double>(iters) / p.seconds,
+                memory::human_bytes(p.pager.peak_resident_bytes).c_str(),
+                memory::human_bytes(p.pager.spill_write_bytes).c_str(),
+                respected ? "budget-ok" : "BUDGET-VIOLATED",
+                identical ? "bitwise-ok" : "TRAJECTORY-DIVERGED");
+    report.add(name,
+               {{"budget_bytes", static_cast<double>(budget)},
+                {"iters_per_sec", static_cast<double>(iters) / p.seconds},
+                {"peak_resident_bytes", static_cast<double>(p.pager.peak_resident_bytes)},
+                {"spill_write_bytes", static_cast<double>(p.pager.spill_write_bytes)},
+                {"budget_respected", respected ? 1.0 : 0.0},
+                {"bitwise_identical", identical ? 1.0 : 0.0}});
+    check(respected, "write-behind peak resident bytes respect the budget");
+    check(identical, "write-behind trajectory byte-identical under budget");
+    check(p.pager.spill_write_bytes > 0,
+          "write-behind sweep point actually reaches the disk tier");
   }
 
   // ROADMAP question: codec max_workers cap under async encode. cap=0 lets

@@ -117,8 +117,11 @@ void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
   // The steal histogram accumulates across the timed section only, so the
   // emitted latencies describe a loaded pool — the regime pager prefetch
   // tasks compete in. A latency regression here shows up before it costs
-  // backward-pass overlap.
-  tensor::sched::reset_steal_stats();
+  // backward-pass overlap. Discarding a drain (rather than reset + later
+  // snapshot) makes the bracket atomic: steals recorded between the two
+  // calls of a reset/snapshot pair can neither be dropped nor counted
+  // twice across bench runs sharing the process.
+  (void)tensor::sched::drain_steal_stats();
   for (const auto& s : kConvShapes) {
     tensor::Rng rng(9);
     std::vector<float> a(s.m * s.k), b(s.k * s.n), c(s.m * s.n);
@@ -154,7 +157,7 @@ void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
   // Scheduler steal-latency histogram over the timed shapes (idle-scan to
   // successful steal, sleeps excluded — see sched.hpp). Single-core
   // machines legitimately record zero.
-  const auto ss = tensor::sched::steal_stats();
+  const auto ss = tensor::sched::drain_steal_stats();
   std::printf("%-24s %8zu steals  p50 %6.0f ns  p90 %6.0f ns  p99 %6.0f ns\n",
               "steal_latency", static_cast<std::size_t>(ss.recorded),
               ss.percentile_ns(0.5), ss.percentile_ns(0.9), ss.percentile_ns(0.99));

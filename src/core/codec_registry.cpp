@@ -213,7 +213,8 @@ void detail::register_none_codec(CodecRegistry& reg) {
 // CodecPolicy
 // ---------------------------------------------------------------------------
 
-CodecPolicy::CodecPolicy(std::vector<Rule> rules) : rules_(std::move(rules)) {
+CodecPolicy::CodecPolicy(std::vector<Rule> rules, std::size_t min_bytes)
+    : rules_(std::move(rules)), min_bytes_(min_bytes) {
   if (rules_.empty()) {
     throw std::invalid_argument("CodecPolicy: at least one rule is required");
   }
@@ -223,6 +224,7 @@ CodecPolicy::CodecPolicy(std::vector<Rule> rules) : rules_(std::move(rules)) {
                                   r.pattern + "'");
     }
   }
+  if (min_bytes_ > 0) threshold_codec_ = std::make_shared<NoneCodec>();
 }
 
 bool CodecPolicy::glob_match(const std::string& pattern, const std::string& text) {
@@ -257,10 +259,18 @@ nn::ActivationCodec& CodecPolicy::codec_for(const std::string& layer) const {
 
 nn::EncodedActivation CodecPolicy::encode(const std::string& layer,
                                           const tensor::Tensor& act) {
+  if (min_bytes_ > 0 && act.bytes() < min_bytes_) {
+    return threshold_codec_->encode(layer, act);
+  }
   return codec_for(layer).encode(layer, act);
 }
 
 tensor::Tensor CodecPolicy::decode(const nn::EncodedActivation& enc) {
+  // The size rule is a pure function of the recorded shape, so it selects
+  // the identity codec exactly when encode() did.
+  if (min_bytes_ > 0 && enc.shape.numel() * sizeof(float) < min_bytes_) {
+    return threshold_codec_->decode(enc);
+  }
   // The layer recorded at encode time pins the round trip to the codec
   // that produced the bytes, whatever rule order a future policy uses.
   return codec_for(enc.layer).decode(enc);
@@ -314,8 +324,33 @@ void detail::register_policy_codec(CodecRegistry& reg) {
   reg.register_codec(
       {"policy",
        "per-layer routing: first glob pattern matching the layer name wins",
-       "<pattern>=<spec>;... e.g. policy:*conv*=sz;*=lossless", true},
-      [&reg](const std::string& params, const FrameworkConfig& fw) {
+       "[min_bytes=<n>,]<pattern>=<spec>;... e.g. "
+       "policy:min_bytes=4096,stem*=none;*=sz:eb=1e-3",
+       true},
+      [&reg](const std::string& raw_params, const FrameworkConfig& fw) {
+        std::string params = raw_params;
+        // Optional leading size threshold, set off from the first rule by a
+        // ',' (rules themselves never start with "min_bytes=" — '=' would
+        // make it a pattern, and patterns with '=' are rejected below
+        // anyway by the spec lookup failing loudly).
+        std::size_t min_bytes = 0;
+        const std::string kMin = "min_bytes=";
+        if (params.rfind(kMin, 0) == 0) {
+          const std::size_t comma = params.find(',');
+          if (comma == std::string::npos) {
+            throw std::invalid_argument(
+                "policy: min_bytes=<n> must be followed by ',' and at least "
+                "one pattern=spec rule");
+          }
+          const std::string digits = params.substr(kMin.size(), comma - kMin.size());
+          if (digits.empty() ||
+              digits.find_first_not_of("0123456789") != std::string::npos) {
+            throw std::invalid_argument("policy: min_bytes expects a plain byte "
+                                        "count, got '" + digits + "'");
+          }
+          min_bytes = static_cast<std::size_t>(std::stoull(digits));
+          params = params.substr(comma + 1);
+        }
         if (params.empty()) {
           throw std::invalid_argument("policy: expected <pattern>=<spec>;... rules");
         }
@@ -343,7 +378,7 @@ void detail::register_policy_codec(CodecRegistry& reg) {
           }
           rules.push_back({pattern, reg.create(spec, fw)});
         }
-        return std::make_shared<CodecPolicy>(std::move(rules));
+        return std::make_shared<CodecPolicy>(std::move(rules), min_bytes);
       });
 }
 

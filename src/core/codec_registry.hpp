@@ -138,7 +138,15 @@ class CodecPolicy : public nn::ActivationCodec, public nn::ErrorBoundedCodec {
   /// Throws std::invalid_argument on an empty rule list or a null codec.
   /// Rules are tried in order; a layer no rule matches throws
   /// std::invalid_argument at encode time (add a trailing "*" catch-all).
-  explicit CodecPolicy(std::vector<Rule> rules);
+  ///
+  /// `min_bytes` composes a size threshold with the glob rules: an
+  /// activation smaller than this many raw bytes is stored raw (identity
+  /// codec) regardless of which rule its layer matches — compressing a
+  /// few-KB tensor buys nothing and costs a codec round trip. 0 disables
+  /// the threshold. decode() applies the same size rule to the recorded
+  /// shape, so round trips stay pinned to the codec that produced the
+  /// bytes.
+  explicit CodecPolicy(std::vector<Rule> rules, std::size_t min_bytes = 0);
 
   nn::EncodedActivation encode(const std::string& layer, const tensor::Tensor& act) override;
   tensor::Tensor decode(const nn::EncodedActivation& enc) override;
@@ -160,12 +168,16 @@ class CodecPolicy : public nn::ActivationCodec, public nn::ErrorBoundedCodec {
   /// The codec `layer` routes to (pattern match, fail-loud on no match).
   nn::ActivationCodec& codec_for(const std::string& layer) const;
 
+  std::size_t min_bytes() const { return min_bytes_; }
+
   /// Simple glob: '*' matches any (possibly empty) substring; every other
   /// character matches itself. Exposed for tests.
   static bool glob_match(const std::string& pattern, const std::string& text);
 
  private:
   std::vector<Rule> rules_;
+  std::size_t min_bytes_ = 0;
+  std::shared_ptr<nn::ActivationCodec> threshold_codec_;  ///< identity, when min_bytes_ > 0
 };
 
 namespace detail {

@@ -93,6 +93,28 @@ struct FrameworkConfig {
   /// EBCT_GRAPH_LIVENESS (strictly "0" or "1").
   bool graph_liveness = true;
 
+  /// Execute the network through the graph-scheduled concurrent executor
+  /// (graph/executor.hpp): independent branches (Inception towers, the
+  /// residual shortcut against its main path) run as tasks on the shared
+  /// work-stealing pool in both passes, overlapping with the pager's codec
+  /// encodes and spill I/O. Losses, gradients and pager counters are
+  /// bitwise identical to the sequential path at any pool size or budget;
+  /// the session silently falls back to sequential execution when the
+  /// model's graph has a structure the executor does not support, or when
+  /// graph_rewrites is on (a rewritten analysis graph no longer mirrors
+  /// the executed network). Env override: EBCT_GRAPH_EXEC (strictly "0"
+  /// or "1").
+  bool graph_exec = true;
+
+  /// Write-behind spill queue: when the pager must evict under a RAM
+  /// budget, the disk write is issued as a pool task and compute continues;
+  /// the budget accounting counts not-yet-written blobs as still resident
+  /// and a bounded window (PagerConfig::write_window) caps the in-flight
+  /// bytes, so the budget is never exceeded. Eviction choice and counters
+  /// are identical to the synchronous path. Env override:
+  /// EBCT_WRITE_BEHIND (strictly "0" or "1").
+  bool write_behind = false;
+
   /// Run the registered graph rewrite patterns (dead-branch elimination,
   /// conv+bias folding — graph/rewrite.hpp) over the IR before liveness is
   /// derived. The rewrites only change the *analysis* graph, never the

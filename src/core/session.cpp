@@ -34,6 +34,8 @@ std::size_t env_bytes(const char* name, const char* value) {
   return static_cast<std::size_t>(v);
 }
 
+bool env_flag(const char* name, bool fallback);
+
 /// Environment overrides for the paging knobs, so existing binaries can be
 /// driven under a budget without code changes (the budget-sweep CI leg and
 /// the README recipes use these).
@@ -44,6 +46,7 @@ memory::PagerConfig pager_config_from(const FrameworkConfig& fw) {
   pc.prefetch_depth = fw.prefetch_depth;
   pc.async_encode = fw.async_compression;
   pc.encode_window = fw.async_queue_depth;
+  pc.write_behind = env_flag("EBCT_WRITE_BEHIND", fw.write_behind);
   if (const char* env = std::getenv("EBCT_MEMORY_BUDGET_BYTES")) {
     pc.budget_bytes = env_bytes("EBCT_MEMORY_BUDGET_BYTES", env);
   }
@@ -101,6 +104,7 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
       sgd_(cfg.sgd) {
   graph_liveness_ = env_flag("EBCT_GRAPH_LIVENESS", cfg_.framework.graph_liveness);
   graph_rewrites_ = env_flag("EBCT_GRAPH_REWRITES", cfg_.framework.graph_rewrites);
+  graph_exec_ = env_flag("EBCT_GRAPH_EXEC", cfg_.framework.graph_exec);
   if (cfg_.lr_step > 0) {
     schedule_ = std::make_unique<nn::StepLr>(cfg_.base_lr, cfg_.lr_gamma, cfg_.lr_step);
   } else {
@@ -135,6 +139,7 @@ void TrainingSession::set_custom_store(nn::ActivationStore* store) {
   // programming a codec no store consults, and the records would claim
   // an adaptive run that is not happening.
   scheme_.reset();
+  executor_.reset();  // before the store it stashes through
   framework_store_.reset();
   raw_store_.reset();
   codec_.reset();
@@ -152,14 +157,30 @@ void TrainingSession::run(std::size_t iterations,
     // provides — so the build happens here, once, not in the constructor.
     // Liveness flows to the pager before the first forward so eviction is
     // furthest-next-use from the very first stash.
-    if (framework_store_ && !graph_ && (graph_liveness_ || graph_rewrites_)) {
+    if (framework_store_ && !graph_ &&
+        (graph_liveness_ || graph_rewrites_ || graph_exec_)) {
       graph_ = std::make_unique<graph::Graph>(
           graph::Graph::from_network(net_, images.shape()));
       if (graph_rewrites_) graph::PatternRegistry::instance().apply_all(*graph_);
       if (graph_liveness_) framework_store_->set_liveness(graph_->liveness());
+      // Graph-scheduled execution needs the IR to mirror the executed
+      // network exactly, which rewrites break by design (they transform
+      // the *analysis* graph only). The executor validates the structure
+      // itself and an unsupported model simply keeps the sequential path.
+      if (graph_exec_ && !graph_rewrites_) {
+        executor_ = std::make_unique<graph::GraphExecutor>(*graph_, net_,
+                                                           *framework_store_);
+        if (executor_->supported()) {
+          framework_store_->set_interceptor(executor_.get());
+        } else {
+          executor_.reset();
+        }
+      }
     }
 
-    Tensor logits = net_.forward(images, /*train=*/true);
+    const bool use_exec = executor_ && executor_->handles(images.shape());
+    Tensor logits = use_exec ? executor_->forward(images, /*train=*/true)
+                             : net_.forward(images, /*train=*/true);
     const std::size_t held = net_.store().held_bytes();
     const std::size_t spilled =
         framework_store_ ? framework_store_->pager().spilled_bytes() : 0;
@@ -167,7 +188,11 @@ void TrainingSession::run(std::size_t iterations,
     // Announce the LIFO replay so the pager starts fetching the deepest
     // activations while the loss layer's gradient is still being formed.
     net_.store().prepare_backward();
-    net_.backward(lr.grad_logits);
+    if (use_exec) {
+      executor_->backward(lr.grad_logits);
+    } else {
+      net_.backward(lr.grad_logits);
+    }
 
     const double rate = schedule_->lr(iteration_);
     auto params = net_.params();

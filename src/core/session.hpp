@@ -23,6 +23,7 @@
 #include "core/adaptive.hpp"
 #include "core/config.hpp"
 #include "data/synthetic.hpp"
+#include "graph/executor.hpp"
 #include "graph/graph.hpp"
 #include "memory/pager.hpp"
 #include "nn/network.hpp"
@@ -85,6 +86,11 @@ class TrainingSession {
   /// and always null for "none"/"custom" sessions or when both graph
   /// features are disabled). Rewrites, when enabled, have been applied.
   const graph::Graph* graph() const { return graph_.get(); }
+  /// The graph-scheduled executor, when active (null before the first run()
+  /// iteration, when EBCT_GRAPH_EXEC=0 / graph_exec=false, for
+  /// "none"/"custom" sessions, under graph_rewrites, or when the model's
+  /// graph is structurally unsupported and the session fell back).
+  graph::GraphExecutor* executor() { return executor_.get(); }
   std::size_t iteration() const { return iteration_; }
 
  private:
@@ -101,8 +107,13 @@ class TrainingSession {
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;
   std::unique_ptr<graph::Graph> graph_;
+  /// Declared after framework_store_ and graph_ so it is destroyed first:
+  /// ~GraphExecutor detaches itself from the store, and the plan borrows
+  /// the graph.
+  std::unique_ptr<graph::GraphExecutor> executor_;
   bool graph_liveness_ = true;   ///< resolved framework.graph_liveness + env
   bool graph_rewrites_ = false;  ///< resolved framework.graph_rewrites + env
+  bool graph_exec_ = true;       ///< resolved framework.graph_exec + env
 
   std::vector<IterationRecord> history_;
   std::size_t iteration_ = 0;

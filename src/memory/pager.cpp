@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace ebct::memory {
@@ -10,6 +11,23 @@ namespace ebct::memory {
 using tensor::Tensor;
 
 namespace {
+
+/// See ScopedPagerNoHelp: depth of no-help guards on this thread.
+thread_local int t_pager_no_help = 0;
+
+/// All pager-side waits go through here instead of sched::help_while
+/// directly: under a no-help guard the wait spins/yields so no queued task
+/// body can be inlined beneath whatever lock the caller holds. Progress
+/// still comes from the rest of the pool — other threads help, and on a
+/// one-thread pool async bodies already ran inline at submission, so there
+/// is never queued work only this thread could run.
+void pager_wait(const std::function<bool()>& done) {
+  if (t_pager_no_help > 0) {
+    while (!done()) std::this_thread::yield();
+    return;
+  }
+  tensor::sched::help_while(done);
+}
 
 /// FNV-1a 64 over a byte span: the spill-payload integrity check. Disk
 /// corruption of a lossy blob would often be caught by the SZ header
@@ -28,9 +46,13 @@ std::uint64_t fnv1a(const void* data, std::size_t n) {
 
 }  // namespace
 
+ScopedPagerNoHelp::ScopedPagerNoHelp() { ++t_pager_no_help; }
+ScopedPagerNoHelp::~ScopedPagerNoHelp() { --t_pager_no_help; }
+
 ActivationPager::ActivationPager(PagerConfig cfg, std::shared_ptr<nn::ActivationCodec> codec)
     : cfg_(std::move(cfg)), codec_(std::move(codec)) {
   if (cfg_.encode_window == 0) cfg_.encode_window = 1;
+  if (cfg_.write_window == 0) cfg_.write_window = 1;
 }
 
 ActivationPager::~ActivationPager() {
@@ -248,7 +270,7 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
 
   // Async: bounded backpressure first, so raw tensors awaiting encode never
   // accumulate past the window (that would defeat the budget).
-  tensor::sched::help_while([this] {
+  pager_wait([this] {
     return encode_inflight_.load(std::memory_order_acquire) < cfg_.encode_window;
   });
 
@@ -361,8 +383,7 @@ PageId ActivationPager::put_exact(const std::string& layer, Tensor&& t) {
 void ActivationPager::wait_io(Page* p, std::unique_lock<std::mutex>& lock) {
   if (!p->io_busy.load(std::memory_order_acquire)) return;
   lock.unlock();
-  tensor::sched::help_while(
-      [p] { return !p->io_busy.load(std::memory_order_acquire); });
+  pager_wait([p] { return !p->io_busy.load(std::memory_order_acquire); });
   lock.lock();
 }
 
@@ -562,28 +583,73 @@ void ActivationPager::enforce_to(std::size_t target_bytes,
   }
 
   // Pass 2: spill to disk. The maps can change while the lock is dropped
-  // around the write, so rescan from the far end each round.
-  while (resident() > target_bytes) {
-    Page* victim = nullptr;
+  // around a write or task submission, so rescan from the far end each
+  // round. Pages mid-write (io_busy) are skipped, which is what keeps the
+  // write-behind victim sequence identical to the synchronous one: a queued
+  // victim cannot be re-picked, and the settled projection below advances
+  // exactly as the synchronous post-write accounting would.
+  const auto pick_victim = [&]() -> Page* {
     for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
       Page* p = find_locked(it->second);
       if (p == nullptr) continue;
       if (p->pin_count > 0 || p->io_busy.load(std::memory_order_relaxed)) continue;
       if (p->spilled) continue;  // RAM copy (if any) was freed in pass 1
-      if (p->encoded || (p->exact && p->raw.numel() > 0)) {
-        victim = p;
-        break;
-      }
+      if (p->encoded || (p->exact && p->raw.numel() > 0)) return p;
     }
-    if (victim == nullptr) {
-      totals_.over_budget_events += 1;
-      TierAccounting::instance().on_over_budget();
-      return;
-    }
+    return nullptr;
+  };
 
-    spill_payload(victim, lock);
-    totals_.evictions += 1;
-    TierAccounting::instance().on_eviction();
+  if (!cfg_.write_behind) {
+    while (resident() > target_bytes) {
+      Page* victim = pick_victim();
+      if (victim == nullptr) {
+        totals_.over_budget_events += 1;
+        TierAccounting::instance().on_over_budget();
+        return;
+      }
+      spill_payload(victim, lock);
+      totals_.evictions += 1;
+      TierAccounting::instance().on_eviction();
+    }
+    return;
+  }
+
+  // Write-behind: queue victims (up to write_window in flight) and only
+  // return once the *actual* resident bytes fit — the budget is a hard cap
+  // and not-yet-written blobs still occupy RAM. Victim *selection* runs
+  // against the settled projection (resident minus bytes already queued) so
+  // no extra pages are evicted just because writes have not landed yet.
+  for (;;) {
+    if (spill_error_) {
+      std::exception_ptr err = spill_error_;
+      spill_error_ = nullptr;
+      std::rethrow_exception(err);  // the failed victim's payload stayed put
+    }
+    if (resident() <= target_bytes) return;
+    if (resident() > target_bytes + pending_spill_bytes_ &&
+        pending_spill_count_ < cfg_.write_window) {
+      if (Page* victim = pick_victim()) {
+        spill_payload_async(victim, lock);
+        totals_.evictions += 1;
+        TierAccounting::instance().on_eviction();
+        continue;
+      }
+      if (pending_spill_count_ == 0) {
+        totals_.over_budget_events += 1;
+        TierAccounting::instance().on_over_budget();
+        return;
+      }
+      // Everything eligible is already mid-write: fall through and wait.
+    }
+    // Over target with writes in flight (or at the window): wait for one to
+    // land, then re-evaluate. spill_gen_ is bumped under mu_, which we hold
+    // here, so a completion can never slip between this read and the wait.
+    const std::uint64_t gen = spill_gen_.load(std::memory_order_acquire);
+    lock.unlock();
+    pager_wait([this, gen] {
+      return spill_gen_.load(std::memory_order_acquire) != gen;
+    });
+    lock.lock();
   }
 }
 
@@ -626,6 +692,64 @@ bool ActivationPager::spill_payload(Page* p, std::unique_lock<std::mutex>& lock)
   totals_.spill_write_bytes += size;
   TierAccounting::instance().on_spill_write(size);
   return true;
+}
+
+void ActivationPager::spill_payload_async(Page* p, std::unique_lock<std::mutex>& lock) {
+  // Counters are charged at issue time so the on/off write-behind counter
+  // streams match; the tier accounting itself only moves when the write
+  // lands (until then the payload genuinely occupies RAM).
+  p->io_busy.store(true, std::memory_order_relaxed);
+  const bool from_enc = p->encoded;
+  const void* data = from_enc ? static_cast<const void*>(p->enc.bytes.data())
+                              : static_cast<const void*>(p->raw.data());
+  const std::size_t size = from_enc ? p->enc.bytes.size() : p->raw.bytes();
+  SpillFile& file = spill_file_locked();
+  pending_spill_bytes_ += size;
+  pending_spill_count_ += 1;
+  totals_.spill_write_bytes += size;
+  TierAccounting::instance().on_spill_write(size);
+
+  // Submit outside mu_: on a one-thread pool the body runs inline here. The
+  // payload pointer stays valid because io_busy keeps every other path
+  // (eviction, drop, materialize) off the page until the task clears it.
+  lock.unlock();
+  auto fut = tensor::sched::async([this, p, &file, data, size, from_enc] {
+    SpillExtent ext;
+    std::uint64_t sum = 0;
+    std::exception_ptr err;
+    try {
+      sum = fnv1a(data, size);
+      ext = file.write(data, size);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> g(mu_);
+    pending_spill_bytes_ -= size;
+    pending_spill_count_ -= 1;
+    if (err) {
+      if (!spill_error_) spill_error_ = err;  // payload still resident: no loss
+    } else {
+      p->extent = ext;
+      p->checksum = sum;
+      p->spilled = true;
+      account_add(Tier::kSpilled, size);
+      if (from_enc) {
+        account_sub(Tier::kCompressed, p->enc.bytes.size());
+        p->enc = nn::EncodedActivation{};
+        p->encoded = false;
+      } else {
+        account_sub(Tier::kRaw, p->raw.bytes());
+        p->raw = Tensor();
+      }
+    }
+    p->io_busy.store(false, std::memory_order_release);
+    spill_gen_.fetch_add(1, std::memory_order_release);
+  });
+  {
+    std::lock_guard<std::mutex> g(tasks_mu_);
+    tasks_.push_back(std::move(fut));
+  }
+  lock.lock();
 }
 
 void ActivationPager::spill(PageId id) {
@@ -739,8 +863,7 @@ void ActivationPager::drain() {
       }
     }
     if (busy == nullptr) break;
-    tensor::sched::help_while(
-        [busy] { return !busy->io_busy.load(std::memory_order_acquire); });
+    pager_wait([busy] { return !busy->io_busy.load(std::memory_order_acquire); });
   }
   std::lock_guard<std::mutex> g(tasks_mu_);
   for (auto& f : tasks_) f.wait();

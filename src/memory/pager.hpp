@@ -88,6 +88,20 @@ struct PagerConfig {
   /// Max raw tensors awaiting async encode before put() applies
   /// backpressure (2 = classic double buffering).
   std::size_t encode_window = 2;
+
+  /// Issue eviction spill writes as pool tasks instead of synchronously
+  /// under the evicting call (write-behind). The budget still counts
+  /// not-yet-written blobs: victims are picked against the settled
+  /// projection (resident minus bytes already queued to disk) — the exact
+  /// victim sequence the synchronous path picks, so eviction/spill counters
+  /// are identical either way — but enforcement only returns once the
+  /// *actual* resident bytes fit the target, so the RAM peak never exceeds
+  /// the budget. The win is up to `write_window` concurrent writes plus the
+  /// evicting thread helping the pool run compute while it waits.
+  bool write_behind = false;
+
+  /// Max in-flight write-behind spills before eviction waits for one.
+  std::size_t write_window = 4;
 };
 
 /// Per-pager counters (process-wide totals live in TierAccounting).
@@ -108,6 +122,20 @@ struct PagerCounters {
 };
 
 using PageId = std::uint64_t;
+
+/// While an instance is alive on this thread, pager waits (wait_io, encode
+/// backpressure, write-behind settling) spin/yield instead of helping the
+/// pool. help_while can inline an arbitrary queued task; a caller holding a
+/// lock that such a task might also take (the graph executor's backward pump)
+/// wraps its pager calls in this guard so no task body ever nests under its
+/// lock. Other threads keep helping, so the queued work still drains.
+class ScopedPagerNoHelp {
+ public:
+  ScopedPagerNoHelp();
+  ~ScopedPagerNoHelp();
+  ScopedPagerNoHelp(const ScopedPagerNoHelp&) = delete;
+  ScopedPagerNoHelp& operator=(const ScopedPagerNoHelp&) = delete;
+};
 
 class ActivationPager {
  public:
@@ -238,6 +266,11 @@ class ActivationPager {
   /// Expects `lock` held and the page idle/unpinned; releases it around
   /// the checksum+write. False when nothing was spillable.
   bool spill_payload(Page* p, std::unique_lock<std::mutex>& lock);
+  /// Write-behind variant: queue the checksum+write as a pool task and
+  /// return immediately. The payload stays in RAM accounting (and in
+  /// pending_spill_bytes_) until the write lands; the page is io_busy for
+  /// the duration. Expects `lock` held; releases it around task submission.
+  void spill_payload_async(Page* p, std::unique_lock<std::mutex>& lock);
   /// Reconstruct the page's tensor from its current payload (disk read +
   /// checksum verify + decode, or decode from the resident blob). Called
   /// WITHOUT mu_ held; the caller must own the page via io_busy.
@@ -287,6 +320,16 @@ class ActivationPager {
   std::size_t compressed_bytes_ = 0;
   std::size_t spilled_bytes_ = 0;
   std::size_t pending_fetch_bytes_ = 0;  ///< raw bytes of in-flight prefetches
+  /// Payload bytes queued to disk by write-behind but not yet written; still
+  /// part of raw_/compressed_ (the budget counts not-yet-written blobs).
+  std::size_t pending_spill_bytes_ = 0;
+  std::size_t pending_spill_count_ = 0;  ///< in-flight write-behind tasks
+  /// Bumped once per write-behind completion (success or failure), under
+  /// mu_; waiters poll it lock-free to learn "something landed, re-check".
+  std::atomic<std::uint64_t> spill_gen_{0};
+  /// First write-behind failure, rethrown from the next enforcement; the
+  /// victim's payload stayed resident, so no bytes were lost.
+  std::exception_ptr spill_error_;
   std::size_t peak_resident_ = 0;
   PagerCounters totals_;  ///< cumulative fields only (evictions, I/O, ...)
   std::map<std::string, nn::StoreStats> stats_;
@@ -301,6 +344,37 @@ class ActivationPager {
   void prune_tasks();
 };
 
+/// Virtual-handle marker: bit 63 of a StashHandle says the handle is owned
+/// by the store's StashInterceptor (the graph executor), not the pager.
+/// PageIds are sequential from 1, so a real handle can never carry it.
+inline constexpr nn::StashHandle kInterceptHandleBit = nn::StashHandle{1} << 63;
+
+/// Hook the graph executor installs on a PagedStore so that layer stashes
+/// issued from concurrently running node tasks can be *deposited* without
+/// touching the pager, then committed by the executor in deterministic
+/// graph order — keeping pager sequence numbers (and therefore eviction
+/// keys, dedup grouping and every counter) bitwise identical to the
+/// sequential path at any pool size.
+class StashInterceptor {
+ public:
+  virtual ~StashInterceptor() = default;
+
+  /// Claim the stash: move from `act`, set `out` to a virtual handle (with
+  /// kInterceptHandleBit set) and return true. Return false (leaving `act`
+  /// untouched) to pass the stash through to the pager — the interceptor
+  /// declines when the calling thread is not running one of its node tasks
+  /// (e.g. a sequential evaluate() forward).
+  virtual bool try_stash(const std::string& layer, tensor::Tensor& act,
+                         bool exact, nn::StashHandle& out) = 0;
+
+  /// Resolve a virtual handle back to its tensor (the executor's backward
+  /// pump replays the committed pager drops in consumption order).
+  virtual tensor::Tensor retrieve(nn::StashHandle handle, bool exact) = 0;
+
+  /// The backward pass is about to start consuming stashes.
+  virtual void prepare_backward() = 0;
+};
+
 /// ActivationStore adapter: the training-loop face of the pager. Replaces
 /// CodecStore/AsyncCodecStore in the session — stash() puts through the
 /// codec, retrieve() drops (with prefetch), and when a budget is active the
@@ -312,21 +386,55 @@ class PagedStore : public nn::ActivationStore {
       : pager_(cfg, std::move(codec)) {}
 
   nn::StashHandle stash(const std::string& layer, tensor::Tensor&& act) override {
+    if (auto* ic = interceptor_.load(std::memory_order_acquire)) {
+      nn::StashHandle h = 0;
+      if (ic->try_stash(layer, act, /*exact=*/false, h)) return h;
+    }
     return pager_.put(layer, std::move(act));
   }
-  tensor::Tensor retrieve(nn::StashHandle handle) override { return pager_.drop(handle); }
+  tensor::Tensor retrieve(nn::StashHandle handle) override {
+    if (handle & kInterceptHandleBit)
+      return interceptor_.load(std::memory_order_acquire)->retrieve(handle, false);
+    return pager_.drop(handle);
+  }
   std::size_t held_bytes() const override { return pager_.resident_bytes(); }
   std::map<std::string, nn::StoreStats> stats() const override { return pager_.stats(); }
   void reset_stats() override { pager_.reset_stats(); }
 
   bool pages_layer_state() const override { return pager_.config().budget_bytes > 0; }
   nn::StashHandle stash_exact(const std::string& layer, tensor::Tensor&& t) override {
+    if (auto* ic = interceptor_.load(std::memory_order_acquire)) {
+      nn::StashHandle h = 0;
+      if (ic->try_stash(layer, t, /*exact=*/true, h)) return h;
+    }
     return pager_.put_exact(layer, std::move(t));
   }
   tensor::Tensor retrieve_exact(nn::StashHandle handle) override {
+    if (handle & kInterceptHandleBit)
+      return interceptor_.load(std::memory_order_acquire)->retrieve(handle, true);
     return pager_.drop(handle);
   }
-  void prepare_backward() override { pager_.prepare_backward(); }
+  void prepare_backward() override {
+    if (auto* ic = interceptor_.load(std::memory_order_acquire)) ic->prepare_backward();
+    pager_.prepare_backward();
+  }
+
+  /// Install (or clear, with nullptr) the executor's stash hook. Swap only
+  /// between iterations — never while a forward/backward is in flight.
+  void set_interceptor(StashInterceptor* ic) {
+    interceptor_.store(ic, std::memory_order_release);
+  }
+  StashInterceptor* interceptor() const {
+    return interceptor_.load(std::memory_order_acquire);
+  }
+
+  /// Executor-side pager access: commit a deposited stash in graph order
+  /// (assigns the next pager sequence number) ...
+  nn::StashHandle commit_stash(const std::string& layer, tensor::Tensor&& t, bool exact) {
+    return exact ? pager_.put_exact(layer, std::move(t)) : pager_.put(layer, std::move(t));
+  }
+  /// ... and replay the committed drop for a real (pager) handle.
+  tensor::Tensor direct_retrieve(nn::StashHandle handle) { return pager_.drop(handle); }
 
   /// Forward exact graph-derived liveness to the pager.
   void set_liveness(graph::Liveness lv) { pager_.set_liveness(std::move(lv)); }
@@ -339,6 +447,7 @@ class PagedStore : public nn::ActivationStore {
 
  private:
   ActivationPager pager_;
+  std::atomic<StashInterceptor*> interceptor_{nullptr};
 };
 
 }  // namespace ebct::memory

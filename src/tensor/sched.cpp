@@ -247,7 +247,10 @@ void notify_workers() {
   }
 }
 
-std::atomic<std::uint64_t> g_steal_count{0};
+// The histogram is the single source of truth: `recorded` totals are
+// derived from the buckets at read time (every episode lands in exactly one
+// bucket), so snapshot and drain stay internally consistent without a
+// separate counter that could skew against the buckets mid-update.
 std::atomic<std::uint64_t> g_steal_hist[StealStats::kBuckets];
 
 std::uint64_t now_ns() {
@@ -264,7 +267,6 @@ void record_steal_latency(std::uint64_t ns) {
     ++idx;
   }
   g_steal_hist[idx].fetch_add(1, std::memory_order_relaxed);
-  g_steal_count.fetch_add(1, std::memory_order_relaxed);
 }
 
 /// Tracks one thread's idle episode: armed at the first failed acquisition
@@ -623,16 +625,26 @@ void help_while(const std::function<bool()>& done) {
 
 StealStats steal_stats() {
   StealStats s;
-  s.recorded = g_steal_count.load(std::memory_order_relaxed);
-  for (std::size_t i = 0; i < StealStats::kBuckets; ++i)
+  for (std::size_t i = 0; i < StealStats::kBuckets; ++i) {
     s.bucket[i] = g_steal_hist[i].load(std::memory_order_relaxed);
+    s.recorded += s.bucket[i];
+  }
   return s;
 }
 
-void reset_steal_stats() {
-  g_steal_count.store(0, std::memory_order_relaxed);
-  for (auto& b : g_steal_hist) b.store(0, std::memory_order_relaxed);
+StealStats drain_steal_stats() {
+  // Per-bucket exchange(0): each episode is observed by exactly one drain.
+  // Concurrent recorders may land in a bucket this loop already passed and
+  // be picked up by the *next* drain — never lost, never double-counted.
+  StealStats s;
+  for (std::size_t i = 0; i < StealStats::kBuckets; ++i) {
+    s.bucket[i] = g_steal_hist[i].exchange(0, std::memory_order_relaxed);
+    s.recorded += s.bucket[i];
+  }
+  return s;
 }
+
+void reset_steal_stats() { (void)drain_steal_stats(); }
 
 namespace detail {
 void run_range(std::size_t n, std::size_t grain, unsigned max_workers,

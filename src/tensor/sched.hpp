@@ -126,8 +126,18 @@ struct StealStats {
   }
 };
 
-/// Snapshot / reset of the process-wide steal histogram (all threads).
+/// Non-destructive snapshot of the process-wide steal histogram (all
+/// threads). `recorded` is derived from the buckets, so the snapshot is
+/// internally consistent even while steals are being recorded concurrently.
 StealStats steal_stats();
+
+/// Atomically drain the histogram: returns everything recorded since the
+/// previous drain/reset and zeroes the counters in the same per-bucket
+/// exchange, so two consumers (or two bench runs in one long-lived process)
+/// can never double-count or lose an episode between a snapshot and a
+/// reset. Benches bracket their timed section with a discarded drain before
+/// and a reported drain after.
+StealStats drain_steal_stats();
 void reset_steal_stats();
 
 namespace detail {

@@ -243,6 +243,34 @@ TEST(CodecPolicyTest, SpecParsingErrors) {
   EXPECT_THROW(reg.create("policy:conv1"), std::invalid_argument);  // no '='
   EXPECT_THROW(reg.create("policy:*=zstd"), std::invalid_argument);  // unknown member
   EXPECT_THROW(reg.create("policy:*=policy:*=sz"), std::invalid_argument);  // nesting
+  // min_bytes: strict digits, and the threshold alone is not a policy.
+  EXPECT_THROW(reg.create("policy:min_bytes=4096"), std::invalid_argument);
+  EXPECT_THROW(reg.create("policy:min_bytes=4k,*=sz"), std::invalid_argument);
+  EXPECT_THROW(reg.create("policy:min_bytes=,*=sz"), std::invalid_argument);
+}
+
+TEST(CodecPolicyTest, MinBytesThresholdStoresSmallActivationsRaw) {
+  const auto policy_codec = CodecRegistry::instance().create(
+      "policy:min_bytes=4096,stem*=none;*=sz:eb=1e-3");
+  auto& policy = dynamic_cast<CodecPolicy&>(*policy_codec);
+  EXPECT_EQ(policy.min_bytes(), 4096u);
+
+  // 2*2*4*4 floats = 256 bytes < 4096: raw regardless of the matched rule.
+  Tensor small = testutil::relu_like_tensor(Shape::nchw(2, 2, 4, 4), 9103, 0.5);
+  const auto enc_small = policy.encode("layer1.conv", small);
+  EXPECT_EQ(enc_small.bytes.size(), small.bytes());  // identity payload
+  Tensor back = policy.decode(enc_small);
+  for (std::size_t i = 0; i < small.numel(); ++i) ASSERT_EQ(back[i], small[i]);
+
+  // 2*8*16*16 floats = 16 KB >= 4096: the glob rules route as usual.
+  Tensor big = testutil::relu_like_tensor(Shape::nchw(2, 8, 16, 16), 9104, 0.5);
+  const auto enc_big = policy.encode("layer1.conv", big);
+  Tensor lossy = policy.decode(enc_big);
+  for (std::size_t i = 0; i < big.numel(); ++i)
+    ASSERT_NEAR(lossy[i], big[i], 1e-3 * 1.01);
+  // ...including the exempt-stem rule composing with the threshold.
+  const auto enc_stem = policy.encode("stem.conv", big);
+  EXPECT_EQ(enc_stem.bytes.size(), big.bytes());
 }
 
 TEST(CodecPolicyTest, ForwardsBoundsOnlyToErrorBoundedMembers) {
