@@ -276,6 +276,26 @@ void GraphExecutor::dispatch(const std::vector<std::size_t>& ready) {
   }
 }
 
+void GraphExecutor::join_dispatched() {
+  // Never wait while holding futures_mu_: a task can still be inside
+  // dispatch()/dispatch_backward() parking its children's futures when the
+  // driver reaches this join (the done counters and the error flag are both
+  // observable before dispatch returns), and wait() help-executes queued
+  // tasks, which could re-enter dispatch on this very thread. Swap the
+  // vector out, wait outside the lock, and loop — a joined batch may have
+  // pushed a new generation of futures while we waited. Task bodies catch
+  // their own exceptions, so wait() never throws here.
+  for (;;) {
+    std::vector<tensor::sched::Future> batch;
+    {
+      std::lock_guard<std::mutex> lk(futures_mu_);
+      if (futures_.empty()) return;
+      batch.swap(futures_);
+    }
+    for (auto& f : batch) f.wait();
+  }
+}
+
 Tensor GraphExecutor::forward_kernel(std::size_t n) {
   const Node& node = graph_.node(static_cast<NodeId>(n));
   const NodePlan& p = plan_[n];
@@ -325,19 +345,23 @@ void GraphExecutor::run_node_forward(std::size_t n) {
     record_error();
   }
   completed_[n].store(true, std::memory_order_release);
-  forward_done_.fetch_add(1, std::memory_order_acq_rel);
   maybe_commit();
-  if (error_flag_.load(std::memory_order_acquire)) return;
-  std::vector<std::size_t> ready;
-  on_tensor_available(node.outputs[0], ready);
-  // The burst size is decided by graph structure alone (how many consumers
-  // this completion unblocked), so the metric is pool-size independent.
-  std::size_t prev = max_parallel_dispatch_.load(std::memory_order_relaxed);
-  while (ready.size() > prev &&
-         !max_parallel_dispatch_.compare_exchange_weak(prev, ready.size(),
-                                                       std::memory_order_relaxed)) {
+  if (!error_flag_.load(std::memory_order_acquire)) {
+    std::vector<std::size_t> ready;
+    on_tensor_available(node.outputs[0], ready);
+    // The burst size is decided by graph structure alone (how many consumers
+    // this completion unblocked), so the metric is pool-size independent.
+    std::size_t prev = max_parallel_dispatch_.load(std::memory_order_relaxed);
+    while (ready.size() > prev &&
+           !max_parallel_dispatch_.compare_exchange_weak(prev, ready.size(),
+                                                         std::memory_order_relaxed)) {
+    }
+    dispatch(ready);
   }
-  dispatch(ready);
+  // Counted last, after dispatch (mirroring backward_done_): the driver's
+  // completion predicate must not fire while this task still has children
+  // to park under futures_mu_.
+  forward_done_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 Tensor GraphExecutor::forward(const Tensor& input, bool train) {
@@ -359,13 +383,8 @@ Tensor GraphExecutor::forward(const Tensor& input, bool train) {
     return forward_done_.load(std::memory_order_acquire) == num_nodes_ ||
            error_flag_.load(std::memory_order_acquire);
   });
-  {
-    // Join every dispatched task (bodies catch their own exceptions, so
-    // wait() never throws here) before touching shared state.
-    std::lock_guard<std::mutex> lk(futures_mu_);
-    for (auto& f : futures_) f.wait();
-    futures_.clear();
-  }
+  // Join every dispatched task before touching shared state.
+  join_dispatched();
   if (error_flag_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lk(error_mu_);
     std::rethrow_exception(first_error_);
@@ -469,6 +488,7 @@ bool GraphExecutor::advance_pump() {
   // drive the drops in request order from the head.
   bool staged_any = false;
   while (true) {
+    if (error_flag_.load(std::memory_order_acquire)) return staged_any;
     const std::size_t pos = pump_pos_.load(std::memory_order_relaxed);
     if (pos >= pump_order_.size() ||
         staged_unconsumed_.load(std::memory_order_relaxed) >= kPumpWindow)
@@ -498,6 +518,13 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
   Deposit& d = deposits_[ticket][idx];
 
   for (;;) {
+    if (error_flag_.load(std::memory_order_acquire)) {
+      // Another task already failed: the pump frontier may never reach our
+      // ticket (the failed node's slots stay unconsumed), so waiting would
+      // hang backward()'s future join. Abort; the caller's task wrapper
+      // records this as a secondary error and first_error_ wins.
+      throw std::runtime_error("GraphExecutor::retrieve: aborted after prior error");
+    }
     if (d.staged.load(std::memory_order_acquire)) {
       // Only this node's own task consumes its deposit, so the take needs
       // no ownership; freeing a window slot wakes the pump owner (or the
@@ -508,7 +535,7 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
       pump_gen_.fetch_add(1, std::memory_order_release);
       return out;
     }
-    if (!pump_busy_.exchange(true, std::memory_order_acquire)) {
+    if (!pump_busy_.exchange(true, std::memory_order_acquire)) try {
       if (d.staged.load(std::memory_order_acquire)) {  // staged while racing
         pump_busy_.store(false, std::memory_order_release);
         continue;
@@ -548,6 +575,7 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
       // completes without suspending (each of its retrieves is served
       // directly).
       while (true) {
+        if (error_flag_.load(std::memory_order_acquire)) break;
         const std::size_t p = pump_pos_.load(std::memory_order_relaxed);
         if (p >= pump_order_.size() || pump_order_[p] == ticket) break;
         const std::size_t hn = pump_order_[p];
@@ -571,13 +599,24 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
         pump_gen_.fetch_add(1, std::memory_order_release);
         continue;
       }
+    } catch (...) {
+      // A pager retrieve threw with ownership held (I/O error, or a
+      // rethrown write-behind spill failure). Release ownership and wake
+      // waiters so they can observe error_flag_ — set by our caller's
+      // record_error — instead of spinning on a frozen frontier.
+      pump_busy_.store(false, std::memory_order_release);
+      pump_gen_.fetch_add(1, std::memory_order_release);
+      throw;
     }
     // Help the pool until the pump state moves: running queued node tasks
     // is exactly what advances the frontier toward our turn. The head check
     // in the predicate closes the window where the frontier reached us
-    // after our ownership attempt but before the generation read.
+    // after our ownership attempt but before the generation read. The error
+    // flag must wake us too: a failed task never consumes its pump slots,
+    // so on error the frontier freezes and only the abort path exits.
     const std::uint64_t gen = pump_gen_.load(std::memory_order_acquire);
     tensor::sched::help_while([this, &d, ticket, gen] {
+      if (error_flag_.load(std::memory_order_acquire)) return true;
       if (d.staged.load(std::memory_order_acquire)) return true;
       if (pump_gen_.load(std::memory_order_acquire) != gen) return true;
       const std::size_t p = pump_pos_.load(std::memory_order_acquire);
@@ -709,11 +748,7 @@ Tensor GraphExecutor::backward(const Tensor& grad_logits) {
     return backward_done_.load(std::memory_order_acquire) == num_nodes_ ||
            error_flag_.load(std::memory_order_acquire);
   });
-  {
-    std::lock_guard<std::mutex> lk(futures_mu_);
-    for (auto& f : futures_) f.wait();
-    futures_.clear();
-  }
+  join_dispatched();
   if (error_flag_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lk(error_mu_);
     std::rethrow_exception(first_error_);

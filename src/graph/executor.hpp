@@ -159,6 +159,9 @@ class GraphExecutor final : public memory::StashInterceptor {
   void on_tensor_available(TensorId t, std::vector<std::size_t>& ready);
   void dispatch(const std::vector<std::size_t>& ready);
   void record_error();
+  /// Join every dispatched task. Waits outside futures_mu_ (tasks push new
+  /// futures under it) and loops until no task remains in flight.
+  void join_dispatched();
 
   // --- deposit committer ---
   void maybe_commit();

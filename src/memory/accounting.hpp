@@ -66,6 +66,13 @@ class TierAccounting {
     spill_read_.fetch_add(bytes, std::memory_order_relaxed);
   }
   void on_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  /// Write-behind spill failure: undo an issue-time on_eviction() /
+  /// on_spill_write() charge (the victim's payload stayed resident), so
+  /// counter totals match the synchronous spill path on error too.
+  void rollback_eviction() { evictions_.fetch_sub(1, std::memory_order_relaxed); }
+  void rollback_spill_write(std::size_t bytes) {
+    spill_write_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
   void on_prefetch_submitted() { prefetch_sub_.fetch_add(1, std::memory_order_relaxed); }
   void on_prefetch_hit() { prefetch_hit_.fetch_add(1, std::memory_order_relaxed); }
   void on_over_budget() { over_budget_.fetch_add(1, std::memory_order_relaxed); }

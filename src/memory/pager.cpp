@@ -1,6 +1,7 @@
 #include "memory/pager.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -58,8 +59,13 @@ ActivationPager::ActivationPager(PagerConfig cfg, std::shared_ptr<nn::Activation
 ActivationPager::~ActivationPager() {
   try {
     drain();
+  } catch (const std::exception& e) {
+    // Destructor drain: can't throw. A late write-behind spill failure
+    // (or a fetch error parked in a page slot) dies with the pager, so at
+    // least leave a trace instead of swallowing it silently.
+    std::fprintf(stderr, "ebct: pager teardown swallowed spill error: %s\n", e.what());
   } catch (...) {
-    // Destructor drain: failures are already parked in page->error slots.
+    std::fprintf(stderr, "ebct: pager teardown swallowed spill error\n");
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, p] : pages_) {
@@ -629,9 +635,10 @@ void ActivationPager::enforce_to(std::size_t target_bytes,
     if (resident() > target_bytes + pending_spill_bytes_ &&
         pending_spill_count_ < cfg_.write_window) {
       if (Page* victim = pick_victim()) {
+        // The eviction/write counters are charged inside spill_payload_async
+        // (and rolled back there if the write fails): the charge must land
+        // before the task body, which can run inline during submission.
         spill_payload_async(victim, lock);
-        totals_.evictions += 1;
-        TierAccounting::instance().on_eviction();
         continue;
       }
       if (pending_spill_count_ == 0) {
@@ -696,8 +703,10 @@ bool ActivationPager::spill_payload(Page* p, std::unique_lock<std::mutex>& lock)
 
 void ActivationPager::spill_payload_async(Page* p, std::unique_lock<std::mutex>& lock) {
   // Counters are charged at issue time so the on/off write-behind counter
-  // streams match; the tier accounting itself only moves when the write
-  // lands (until then the payload genuinely occupies RAM).
+  // streams match, and rolled back if the write fails — the synchronous
+  // path only counts a spill once the write has landed, so parity holds on
+  // the error path too. The tier accounting itself only moves when the
+  // write lands (until then the payload genuinely occupies RAM).
   p->io_busy.store(true, std::memory_order_relaxed);
   const bool from_enc = p->encoded;
   const void* data = from_enc ? static_cast<const void*>(p->enc.bytes.data())
@@ -706,7 +715,9 @@ void ActivationPager::spill_payload_async(Page* p, std::unique_lock<std::mutex>&
   SpillFile& file = spill_file_locked();
   pending_spill_bytes_ += size;
   pending_spill_count_ += 1;
+  totals_.evictions += 1;
   totals_.spill_write_bytes += size;
+  TierAccounting::instance().on_eviction();
   TierAccounting::instance().on_spill_write(size);
 
   // Submit outside mu_: on a one-thread pool the body runs inline here. The
@@ -728,6 +739,13 @@ void ActivationPager::spill_payload_async(Page* p, std::unique_lock<std::mutex>&
     pending_spill_count_ -= 1;
     if (err) {
       if (!spill_error_) spill_error_ = err;  // payload still resident: no loss
+      // The eviction never happened: undo the issue-time charges so the
+      // counter totals match the synchronous path, which counts nothing
+      // when the write throws.
+      totals_.evictions -= 1;
+      totals_.spill_write_bytes -= size;
+      TierAccounting::instance().rollback_eviction();
+      TierAccounting::instance().rollback_spill_write(size);
     } else {
       p->extent = ext;
       p->checksum = sum;
@@ -865,9 +883,29 @@ void ActivationPager::drain() {
     if (busy == nullptr) break;
     pager_wait([busy] { return !busy->io_busy.load(std::memory_order_acquire); });
   }
-  std::lock_guard<std::mutex> g(tasks_mu_);
-  for (auto& f : tasks_) f.wait();
-  tasks_.clear();
+  // Wait outside tasks_mu_: wait() help-executes queued tasks, and an
+  // inlined task landing back in the pager would re-take the mutex on this
+  // thread. Loop in case a helped task submitted more I/O.
+  for (;;) {
+    std::vector<tensor::sched::Future> pending;
+    {
+      std::lock_guard<std::mutex> g(tasks_mu_);
+      if (tasks_.empty()) break;
+      pending.swap(tasks_);
+    }
+    for (auto& f : pending) f.wait();
+  }
+  // A write-behind failure that lands after the last enforce_to() would
+  // otherwise surface only on the next budget enforcement — or never, when
+  // this drain is the session's final settle. Rethrow it here, once all
+  // I/O has quiesced (the failed page's payload is still resident).
+  std::unique_lock<std::mutex> lock(mu_);
+  if (spill_error_) {
+    std::exception_ptr err = spill_error_;
+    spill_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 Tier ActivationPager::tier(PageId id) const {
