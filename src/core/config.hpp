@@ -121,6 +121,24 @@ struct FrameworkConfig {
   /// executed network, and default off. Env override: EBCT_GRAPH_REWRITES
   /// (strictly "0" or "1").
   bool graph_rewrites = false;
+
+  /// Recompute tier: let the pager's cost model drop an eligible page's
+  /// compressed payload at eviction and re-derive it during backward by
+  /// replaying its producing subgraph (graph/replay.hpp) from the
+  /// iteration's input batch, when that is priced cheaper than the disk
+  /// spill roundtrip. Requires the graph IR (built on demand) and stands
+  /// down under graph_rewrites, like the executor. Reconstructed bytes,
+  /// losses and stash sequence numbers are identical either way — only
+  /// where the bytes come from changes. Default off. Env override:
+  /// EBCT_RECOMPUTE (strictly "0" or "1").
+  bool recompute = false;
+
+  /// Pinned cost-model rates for the recompute tier, strictly parsed as
+  /// "encode=F,decode=F,write=F,read=F,flop=F" (ns per byte / per flop).
+  /// Empty = calibrate from timings measured on the first few pages of the
+  /// run. Pinning makes the spill-vs-replay decision reproducible for
+  /// tests and benches. Env override: EBCT_RECOMPUTE_RATES.
+  std::string recompute_rates;
 };
 
 }  // namespace ebct::core

@@ -56,6 +56,11 @@ memory::PagerConfig pager_config_from(const FrameworkConfig& fw) {
   if (const char* env = std::getenv("EBCT_PREFETCH_DEPTH")) {
     pc.prefetch_depth = env_bytes("EBCT_PREFETCH_DEPTH", env);
   }
+  pc.recompute = env_flag("EBCT_RECOMPUTE", fw.recompute);
+  pc.recompute_rates = fw.recompute_rates;
+  if (const char* env = std::getenv("EBCT_RECOMPUTE_RATES")) {
+    if (env[0] != '\0') pc.recompute_rates = env;
+  }
   return pc;
 }
 
@@ -105,6 +110,7 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
   graph_liveness_ = env_flag("EBCT_GRAPH_LIVENESS", cfg_.framework.graph_liveness);
   graph_rewrites_ = env_flag("EBCT_GRAPH_REWRITES", cfg_.framework.graph_rewrites);
   graph_exec_ = env_flag("EBCT_GRAPH_EXEC", cfg_.framework.graph_exec);
+  recompute_ = env_flag("EBCT_RECOMPUTE", cfg_.framework.recompute);
   if (cfg_.lr_step > 0) {
     schedule_ = std::make_unique<nn::StepLr>(cfg_.base_lr, cfg_.lr_gamma, cfg_.lr_step);
   } else {
@@ -132,6 +138,12 @@ TrainingSession::TrainingSession(nn::Network& net, data::DataLoader& loader,
   scheme_ = std::make_unique<AdaptiveScheme>(cfg_.framework, codec_.get());
 }
 
+TrainingSession::~TrainingSession() {
+  // The pager (inside framework_store_) is declared before replay_ and so
+  // outlives it; make sure no page can reach the engine while it dies.
+  if (framework_store_) framework_store_->set_recompute_source(nullptr);
+}
+
 void TrainingSession::set_custom_store(nn::ActivationStore* store) {
   codec_spec_ = "custom";
   net_.set_store(store);
@@ -140,6 +152,8 @@ void TrainingSession::set_custom_store(nn::ActivationStore* store) {
   // an adaptive run that is not happening.
   scheme_.reset();
   executor_.reset();  // before the store it stashes through
+  if (framework_store_) framework_store_->set_recompute_source(nullptr);
+  replay_.reset();
   framework_store_.reset();
   raw_store_.reset();
   codec_.reset();
@@ -158,7 +172,7 @@ void TrainingSession::run(std::size_t iterations,
     // Liveness flows to the pager before the first forward so eviction is
     // furthest-next-use from the very first stash.
     if (framework_store_ && !graph_ &&
-        (graph_liveness_ || graph_rewrites_ || graph_exec_)) {
+        (graph_liveness_ || graph_rewrites_ || graph_exec_ || recompute_)) {
       graph_ = std::make_unique<graph::Graph>(
           graph::Graph::from_network(net_, images.shape()));
       if (graph_rewrites_) graph::PatternRegistry::instance().apply_all(*graph_);
@@ -176,7 +190,19 @@ void TrainingSession::run(std::size_t iterations,
           executor_.reset();
         }
       }
+      // The recompute tier replays producing subgraphs, so like the
+      // executor it needs the IR to mirror the executed network — it
+      // stands down under rewrites.
+      if (recompute_ && !graph_rewrites_) {
+        replay_ = std::make_unique<graph::ReplayEngine>(*graph_);
+        framework_store_->set_recompute_source(replay_.get());
+      }
     }
+
+    // The engine replays from this iteration's input batch; the pointer is
+    // cleared after backward so a stale batch can never leak into a later
+    // evaluate() or an external store user.
+    if (replay_) replay_->set_input(&images);
 
     const bool use_exec = executor_ && executor_->handles(images.shape());
     Tensor logits = use_exec ? executor_->forward(images, /*train=*/true)
@@ -193,6 +219,9 @@ void TrainingSession::run(std::size_t iterations,
     } else {
       net_.backward(lr.grad_logits);
     }
+    // All stashes are consumed by now; anything stashed after this point
+    // (e.g. an eval batch) must not be replayed against this input.
+    if (replay_) replay_->set_input(nullptr);
 
     const double rate = schedule_->lr(iteration_);
     auto params = net_.params();

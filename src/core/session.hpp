@@ -25,6 +25,7 @@
 #include "data/synthetic.hpp"
 #include "graph/executor.hpp"
 #include "graph/graph.hpp"
+#include "graph/replay.hpp"
 #include "memory/pager.hpp"
 #include "nn/network.hpp"
 #include "nn/sgd.hpp"
@@ -59,6 +60,9 @@ struct IterationRecord {
 class TrainingSession {
  public:
   TrainingSession(nn::Network& net, data::DataLoader& loader, SessionConfig cfg);
+  /// Detaches the replay engine from the pager before it is destroyed (the
+  /// pager member outlives the engine by declaration order).
+  ~TrainingSession();
 
   /// Install a caller-owned store (the codec-"custom" path; also usable to
   /// replace the store a previous spec built).
@@ -91,6 +95,10 @@ class TrainingSession {
   /// "none"/"custom" sessions, under graph_rewrites, or when the model's
   /// graph is structurally unsupported and the session fell back).
   graph::GraphExecutor* executor() { return executor_.get(); }
+  /// The recompute tier's replay engine, when active (null before the
+  /// first run() iteration, when EBCT_RECOMPUTE=0 / recompute=false, for
+  /// "none"/"custom" sessions, or under graph_rewrites).
+  graph::ReplayEngine* replay_engine() { return replay_.get(); }
   std::size_t iteration() const { return iteration_; }
 
  private:
@@ -107,6 +115,9 @@ class TrainingSession {
   std::unique_ptr<nn::RawStore> raw_store_;
   std::unique_ptr<AdaptiveScheme> scheme_;
   std::unique_ptr<graph::Graph> graph_;
+  /// Borrows graph_; the session detaches it from the pager (in run() and
+  /// ~TrainingSession) before either can go away.
+  std::unique_ptr<graph::ReplayEngine> replay_;
   /// Declared after framework_store_ and graph_ so it is destroyed first:
   /// ~GraphExecutor detaches itself from the store, and the plan borrows
   /// the graph.
@@ -114,6 +125,7 @@ class TrainingSession {
   bool graph_liveness_ = true;   ///< resolved framework.graph_liveness + env
   bool graph_rewrites_ = false;  ///< resolved framework.graph_rewrites + env
   bool graph_exec_ = true;       ///< resolved framework.graph_exec + env
+  bool recompute_ = false;       ///< resolved framework.recompute + env
 
   std::vector<IterationRecord> history_;
   std::size_t iteration_ = 0;

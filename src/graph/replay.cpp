@@ -1,0 +1,158 @@
+#include "graph/replay.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace ebct::graph {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+bool is_join(const Node& n) { return n.op == "add" || n.op == "concat"; }
+}  // namespace
+
+ReplayEngine::ReplayEngine(const Graph& g) : graph_(&g) {
+  for (const Node& n : g.nodes()) {
+    if (n.dead || !n.stashes_input || n.inputs.empty()) continue;
+    plans_.emplace(n.name, extract(n));
+  }
+}
+
+const ReplayPlan* ReplayEngine::plan(const std::string& name) const {
+  auto it = plans_.find(name);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+bool ReplayEngine::can_replay(const std::string& layer) const {
+  const ReplayPlan* p = plan(layer);
+  return p != nullptr && p->supported && input_.load() != nullptr;
+}
+
+double ReplayEngine::replay_flops(const std::string& layer) const {
+  const ReplayPlan* p = plan(layer);
+  return p == nullptr ? 0.0 : p->flops;
+}
+
+Tensor ReplayEngine::replay(const std::string& layer) const {
+  const ReplayPlan* p = plan(layer);
+  if (p == nullptr)
+    throw std::logic_error("replay: no plan for stashing layer '" + layer + "'");
+  if (!p->supported)
+    throw std::logic_error("replay: plan for '" + layer +
+                           "' unsupported: " + p->unsupported_reason);
+  const Tensor* input = input_.load();
+  if (input == nullptr)
+    throw std::logic_error("replay: no graph input installed for '" + layer + "'");
+  return execute(*p, *input);
+}
+
+ReplayPlan ReplayEngine::extract(const Node& node) const {
+  ReplayPlan plan;
+  // Conv stashes its *input* activation, so the plan re-produces inputs[0].
+  plan.target = node.inputs[0];
+
+  // Walk producers back to the graph input, collecting every ancestor node.
+  std::vector<bool> in_plan(graph_->nodes().size(), false);
+  std::vector<TensorId> work{plan.target};
+  std::string reason;
+  while (!work.empty() && reason.empty()) {
+    const TensorId t = work.back();
+    work.pop_back();
+    const NodeId p = graph_->tensor(t).producer;
+    if (p == kNoNode) continue;  // reached the graph input
+    if (in_plan[p]) continue;
+    in_plan[p] = true;
+    const Node& n = graph_->node(p);
+    if (n.dead) {
+      reason = n.name + ": dead node in producing subgraph";
+    } else if (is_join(n)) {
+      // Executed by the engine itself (clone+axpy / channel memcpy).
+    } else if (n.layer == nullptr) {
+      reason = n.name + ": synthetic op '" + n.op + "' has no replay";
+    } else if (!n.layer->replayable()) {
+      reason = n.name + ": layer is not replayable";
+    }
+    for (TensorId in : n.inputs) work.push_back(in);
+  }
+  if (!reason.empty()) {
+    plan.unsupported_reason = std::move(reason);
+    return plan;
+  }
+
+  // Ascending NodeId is execution order: insertion order is topological.
+  for (NodeId id = 0; id < in_plan.size(); ++id)
+    if (in_plan[id]) plan.steps.push_back(id);
+
+  for (NodeId id : plan.steps) {
+    const Node& n = graph_->node(id);
+    if (is_join(n))
+      plan.flops += static_cast<double>(graph_->tensor(n.outputs[0]).shape.numel());
+    else
+      plan.flops += n.layer->replay_flops(graph_->tensor(n.inputs[0]).shape);
+  }
+  plan.supported = true;
+  return plan;
+}
+
+Tensor ReplayEngine::execute(const ReplayPlan& plan, const Tensor& input) const {
+  // All state is local: concurrent replays of different pages never touch
+  // shared mutable data.
+  std::unordered_map<TensorId, Tensor> values;
+  std::unordered_map<TensorId, int> uses;
+  for (NodeId id : plan.steps)
+    for (TensorId t : graph_->node(id).inputs) ++uses[t];
+
+  auto value_of = [&](TensorId t) -> const Tensor& {
+    if (graph_->tensor(t).producer == kNoNode) return input;
+    return values.at(t);
+  };
+
+  // Zero-step plan: the stashed tensor *is* the graph input (first conv).
+  if (plan.steps.empty()) return input.clone();
+
+  for (NodeId id : plan.steps) {
+    const Node& n = graph_->node(id);
+    Tensor out;
+    if (n.op == "add") {
+      // Mirror of ResidualBlock::forward's join: y += shortcut.
+      out = value_of(n.inputs[0]).clone();
+      tensor::axpy(1.0f, value_of(n.inputs[1]).span(), out.span());
+    } else if (n.op == "concat") {
+      // Mirror of ConcatBranches::forward: per-sample channel-offset copies
+      // in input slot order.
+      const Tensor& first = value_of(n.inputs[0]);
+      std::size_t total_c = 0;
+      for (TensorId t : n.inputs) total_c += value_of(t).shape().c();
+      const Shape os = Shape::nchw(first.shape().n(), total_c, first.shape().h(),
+                                   first.shape().w());
+      out = Tensor(os);
+      const std::size_t hw = os.h() * os.w();
+      std::size_t c_off = 0;
+      for (TensorId t : n.inputs) {
+        const Tensor& y = value_of(t);
+        const std::size_t c = y.shape().c();
+        for (std::size_t s = 0; s < os.n(); ++s) {
+          std::memcpy(out.data() + (s * os.c() + c_off) * hw, y.data() + s * c * hw,
+                      c * hw * sizeof(float));
+        }
+        c_off += c;
+      }
+    } else {
+      out = n.layer->replay_forward(value_of(n.inputs[0]));
+    }
+    // Free dead intermediates as refcounts drain (pool-size-invariant: the
+    // schedule is the static step order, never a function of threads).
+    for (TensorId t : n.inputs) {
+      if (graph_->tensor(t).producer == kNoNode) continue;
+      auto u = uses.find(t);
+      if (u != uses.end() && --u->second == 0 && t != plan.target) values.erase(t);
+    }
+    values.emplace(n.outputs[0], std::move(out));
+  }
+  return std::move(values.at(plan.target));
+}
+
+}  // namespace ebct::graph

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file replay.hpp
+/// Replay plans for the recompute tier: for every stashing node, the minimal
+/// producing subgraph that re-derives its stashed input from the graph input.
+///
+/// Why the plans root at the *graph input* and not at the nearest resident
+/// tensor: intermediate lossy stashes hold post-codec-roundtrip values, so
+/// re-running forward from one of them would compound the codec error and
+/// break the byte-identity contract. The graph input (the iteration's image
+/// batch) is the only tensor guaranteed to hold original forward bytes.
+/// Replaying from it is valid during backward because nothing a replay step
+/// reads mutates mid-iteration: weights update only in sgd.step() after
+/// backward, adaptive error bounds move between iterations, and BatchNorm's
+/// running statistics are written in forward only (replay_forward recomputes
+/// batch statistics locally).
+///
+/// A plan is "supported" when every step is either a replayable layer
+/// (Layer::replayable()) or a synthetic join the engine executes itself
+/// ("add" = clone + axpy, "concat" = slot-order channel memcpy — both mirror
+/// the container forwards byte-for-byte). Plans through Dropout (stateful
+/// RNG) are unsupported and the pager falls back to compress/spill.
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "memory/recompute.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ebct::graph {
+
+/// The producing subgraph of one stashed tensor.
+struct ReplayPlan {
+  bool supported = false;
+  std::string unsupported_reason;  ///< set when !supported
+  /// Plan nodes in ascending NodeId order. Insertion order is topological
+  /// (graph.hpp invariant), so executing in this order satisfies every edge.
+  std::vector<NodeId> steps;
+  TensorId target = 0;     ///< the tensor the plan re-produces
+  double flops = 0.0;      ///< static estimate, summed over steps
+};
+
+/// Executes replay plans against the current iteration's input tensor.
+/// One engine per session/graph; replay() is const and keeps all execution
+/// state in locals, so concurrent calls from pager worker tasks are safe.
+class ReplayEngine : public memory::RecomputeSource {
+ public:
+  /// Extract a plan for every stashing node of `g`. The graph must outlive
+  /// the engine.
+  explicit ReplayEngine(const Graph& g);
+
+  /// Install (or clear, with nullptr) the iteration's graph input. The
+  /// tensor must stay alive and unmodified until the next set_input call;
+  /// with no input installed can_replay() answers false everywhere, which
+  /// disables the recompute tier without disturbing anything else.
+  void set_input(const tensor::Tensor* input) { input_.store(input); }
+
+  /// The extracted plan for stashing layer `name`, or null.
+  const ReplayPlan* plan(const std::string& name) const;
+
+  bool can_replay(const std::string& layer) const override;
+  double replay_flops(const std::string& layer) const override;
+  tensor::Tensor replay(const std::string& layer) const override;
+
+ private:
+  ReplayPlan extract(const Node& node) const;
+  tensor::Tensor execute(const ReplayPlan& plan, const tensor::Tensor& input) const;
+
+  const Graph* graph_;
+  std::unordered_map<std::string, ReplayPlan> plans_;
+  std::atomic<const tensor::Tensor*> input_{nullptr};
+};
+
+}  // namespace ebct::graph

@@ -1,0 +1,158 @@
+#include "memory/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ebct::memory {
+
+namespace {
+
+/// Strict double parse: the whole token must be consumed and the value
+/// finite and non-negative. Mirrors the env_bytes/env_flag discipline in
+/// core/session.cpp — a malformed value throws instead of being ignored.
+double parse_rate(const std::string& key, const std::string& token) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("EBCT_RECOMPUTE_RATES: bad value for '" + key +
+                                "': '" + token + "'");
+  }
+  if (pos != token.size() || !std::isfinite(v) || v < 0.0)
+    throw std::invalid_argument("EBCT_RECOMPUTE_RATES: bad value for '" + key +
+                                "': '" + token + "'");
+  return v;
+}
+
+CostRates parse_pinned_spec(const std::string& spec) {
+  static const char* kKeys[] = {"encode", "decode", "write", "read", "flop"};
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = spec.find(',', start);
+    parts.push_back(spec.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (parts.size() != 5)
+    throw std::invalid_argument(
+        "EBCT_RECOMPUTE_RATES: expected 'encode=F,decode=F,write=F,read=F,flop=F', got '" +
+        spec + "'");
+  double vals[5];
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::string key(kKeys[i]);
+    const std::string prefix = key + "=";
+    if (parts[i].rfind(prefix, 0) != 0)
+      throw std::invalid_argument("EBCT_RECOMPUTE_RATES: expected '" + prefix +
+                                  "...' at position " + std::to_string(i) + ", got '" +
+                                  parts[i] + "'");
+    vals[i] = parse_rate(key, parts[i].substr(prefix.size()));
+  }
+  CostRates r;
+  r.encode_ns_per_byte = vals[0];
+  r.decode_ns_per_byte = vals[1];
+  r.write_ns_per_byte = vals[2];
+  r.read_ns_per_byte = vals[3];
+  r.flop_ns = vals[4];
+  return r;
+}
+
+}  // namespace
+
+void CostModel::RateAcc::observe(std::size_t b, double t, std::size_t freeze_at) {
+  if (frozen || b == 0) return;
+  bytes += b;
+  ns += t;
+  ++samples;
+  if (samples >= freeze_at) {
+    frozen_rate = ns / static_cast<double>(bytes);
+    frozen = true;
+  }
+}
+
+CostModel::CostModel(const std::string& pinned_spec) {
+  if (!pinned_spec.empty()) {
+    pinned_rates_ = parse_pinned_spec(pinned_spec);
+    pinned_ = true;
+  }
+}
+
+void CostModel::observe_encode(std::size_t bytes, double ns) {
+  if (pinned_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  encode_.observe(bytes, ns, kCalibrationSamples);
+}
+
+void CostModel::observe_decode(std::size_t bytes, double ns) {
+  if (pinned_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  decode_.observe(bytes, ns, kCalibrationSamples);
+}
+
+void CostModel::observe_spill_write(std::size_t bytes, double ns) {
+  if (pinned_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  write_.observe(bytes, ns, kCalibrationSamples);
+}
+
+void CostModel::observe_spill_read(std::size_t bytes, double ns) {
+  if (pinned_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  read_.observe(bytes, ns, kCalibrationSamples);
+}
+
+bool CostModel::calibrated() const {
+  if (pinned_) return true;
+  std::lock_guard<std::mutex> lk(mu_);
+  return encode_.frozen && write_.frozen && read_.frozen;
+}
+
+bool CostModel::prefer_recompute(std::size_t raw_bytes, std::size_t blob_bytes,
+                                 double flops) const {
+  CostRates r;
+  if (pinned_) {
+    r = pinned_rates_;
+  } else {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!(encode_.frozen && write_.frozen && read_.frozen)) return false;
+    r.encode_ns_per_byte = encode_.frozen_rate;
+    r.write_ns_per_byte = write_.frozen_rate;
+    r.read_ns_per_byte = read_.frozen_rate;
+    r.flop_ns = kDefaultFlopNs;
+  }
+  const double recompute_ns =
+      flops * r.flop_ns + static_cast<double>(raw_bytes) * r.encode_ns_per_byte;
+  const double spill_ns = static_cast<double>(blob_bytes) *
+                          (r.write_ns_per_byte + r.read_ns_per_byte);
+  return recompute_ns < spill_ns;
+}
+
+CostModelSnapshot CostModel::snapshot() const {
+  CostModelSnapshot s;
+  s.pinned = pinned_;
+  if (pinned_) {
+    s.rates = pinned_rates_;
+    s.calibrated = true;
+    return s;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  s.calibrated = encode_.frozen && write_.frozen && read_.frozen;
+  auto rate_of = [](const RateAcc& a) {
+    if (a.frozen) return a.frozen_rate;
+    return a.bytes == 0 ? 0.0 : a.ns / static_cast<double>(a.bytes);
+  };
+  s.rates.encode_ns_per_byte = rate_of(encode_);
+  s.rates.decode_ns_per_byte = rate_of(decode_);
+  s.rates.write_ns_per_byte = rate_of(write_);
+  s.rates.read_ns_per_byte = rate_of(read_);
+  s.rates.flop_ns = kDefaultFlopNs;
+  s.encode_samples = encode_.samples;
+  s.decode_samples = decode_.samples;
+  s.write_samples = write_.samples;
+  s.read_samples = read_.samples;
+  return s;
+}
+
+}  // namespace ebct::memory

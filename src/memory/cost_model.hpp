@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// Measured escape-cost model for the pager's eviction decision. When a page
+/// must leave RAM the pager has two escapes: spill the codec blob to disk
+/// (pay write now + read at backward) or drop the payload entirely and
+/// replay the producing subgraph at backward (pay FLOPs + a re-encode).
+/// The model prices both from rates calibrated on the first few pages of
+/// the run — real encode and spill timings observed in situ — and freezes
+/// once each rate has enough samples, so one run's decisions stop drifting.
+///
+/// Decisions may legitimately differ between runs (they are timing-
+/// dependent); the pager's byte-identity contract does NOT depend on which
+/// escape wins — both reproduce the page's post-codec bytes exactly. Tests
+/// and benches that need reproducible *decisions* pin the rates via
+/// EBCT_RECOMPUTE_RATES ("encode=F,decode=F,write=F,read=F,flop=F",
+/// strictly parsed), which marks the model calibrated from construction.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace ebct::memory {
+
+/// Calibrated (or pinned) cost rates, all in nanoseconds.
+struct CostRates {
+  double encode_ns_per_byte = 0.0;
+  double decode_ns_per_byte = 0.0;
+  double write_ns_per_byte = 0.0;
+  double read_ns_per_byte = 0.0;
+  double flop_ns = 0.0;  ///< ns per floating-point op of replay
+};
+
+/// Snapshot for bench reporting: rates plus how they were obtained.
+struct CostModelSnapshot {
+  CostRates rates;
+  bool pinned = false;
+  bool calibrated = false;
+  std::size_t encode_samples = 0;
+  std::size_t decode_samples = 0;
+  std::size_t write_samples = 0;
+  std::size_t read_samples = 0;
+};
+
+class CostModel {
+ public:
+  /// Empty spec -> measured mode (calibrates from observations). Non-empty
+  /// spec -> pinned mode; throws std::invalid_argument unless the spec is
+  /// exactly "encode=F,decode=F,write=F,read=F,flop=F" with finite
+  /// non-negative values (strict: no extra keys, no reordering, no blanks).
+  explicit CostModel(const std::string& pinned_spec = "");
+
+  /// Observation hooks, called by the pager with wall-time measurements.
+  /// Each accumulates until kCalibrationSamples, then its rate freezes.
+  void observe_encode(std::size_t bytes, double ns);
+  void observe_decode(std::size_t bytes, double ns);
+  void observe_spill_write(std::size_t bytes, double ns);
+  void observe_spill_read(std::size_t bytes, double ns);
+
+  /// True once every decision-relevant rate (encode, write, read) is
+  /// frozen — or immediately in pinned mode. Until then the pager must
+  /// fall back to spilling, which keeps early-run behaviour identical to
+  /// a recompute-off run.
+  bool calibrated() const;
+
+  /// True when dropping-and-replaying is estimated cheaper than spilling:
+  ///   flops * flop_ns + raw_bytes * encode_ns
+  ///     < blob_bytes * (write_ns + read_ns).
+  /// The decode cost is common to both escapes and omitted. Returns false
+  /// until calibrated().
+  bool prefer_recompute(std::size_t raw_bytes, std::size_t blob_bytes,
+                        double flops) const;
+
+  CostModelSnapshot snapshot() const;
+
+  /// Samples per rate before it freezes (measured mode).
+  static constexpr std::size_t kCalibrationSamples = 4;
+  /// Conservative replay throughput assumed in measured mode (~4 GFLOP/s);
+  /// deliberately pessimistic so recompute only wins when clearly cheaper.
+  static constexpr double kDefaultFlopNs = 0.25;
+
+ private:
+  struct RateAcc {
+    std::size_t bytes = 0;
+    double ns = 0.0;
+    std::size_t samples = 0;
+    double frozen_rate = 0.0;
+    bool frozen = false;
+
+    void observe(std::size_t b, double t, std::size_t freeze_at);
+  };
+
+  mutable std::mutex mu_;
+  bool pinned_ = false;
+  CostRates pinned_rates_;
+  RateAcc encode_, decode_, write_, read_;
+};
+
+}  // namespace ebct::memory

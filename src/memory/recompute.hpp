@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file recompute.hpp
+/// The pager-side contract for the recompute tier. The ActivationPager knows
+/// nothing about the op graph; when the cost model elects to drop a page's
+/// payload instead of spilling it, the pager asks an installed
+/// RecomputeSource to re-produce the raw bytes on demand. The concrete
+/// implementation (graph::ReplayEngine) lives above the memory layer and is
+/// injected by the session, keeping the dependency arrow pointing
+/// graph -> memory and never back.
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace ebct::memory {
+
+/// Re-produces a stashed activation by replaying its producing subgraph.
+/// All methods are keyed by the stashing layer's name (the same key used
+/// for ActivationStore::stash). Implementations must be safe to call
+/// concurrently from pager worker tasks: replay() may run on the executor's
+/// drop pump while the main thread is inside a different layer's backward.
+class RecomputeSource {
+ public:
+  virtual ~RecomputeSource() = default;
+
+  /// True when `layer`'s stashed input can currently be replayed: its
+  /// producing subgraph is fully replayable and this iteration's graph
+  /// input tensor is installed. The pager checks this at eviction time;
+  /// a false answer simply falls back to compress/spill.
+  virtual bool can_replay(const std::string& layer) const = 0;
+
+  /// Static FLOP estimate of replaying `layer`'s stashed input, for the
+  /// cost model. Only meaningful when can_replay(layer) is true.
+  virtual double replay_flops(const std::string& layer) const = 0;
+
+  /// Re-run the producing subgraph and return the raw forward value of
+  /// `layer`'s stashed input — byte-identical to what forward produced.
+  /// Throws if the plan is unsupported or no input is installed.
+  virtual tensor::Tensor replay(const std::string& layer) const = 0;
+};
+
+}  // namespace ebct::memory

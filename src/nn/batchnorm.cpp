@@ -103,6 +103,50 @@ Tensor BatchNorm::forward(const Tensor& input, bool train) {
   return out;
 }
 
+Tensor BatchNorm::replay_forward(const Tensor& input) const {
+  if (input.shape().rank() != 4 || input.shape().c() != channels_)
+    throw std::invalid_argument(name_ + ": expected NCHW with C=" + std::to_string(channels_));
+  const tensor::Shape& s = input.shape();
+  const std::size_t n = s.n(), hw = s.h() * s.w();
+  const std::size_t chw = channels_ * hw;
+  const double count = static_cast<double>(n * hw);
+
+  Tensor out(s);
+  // Mirror of forward(train=true) computing only `out`: the same Welford
+  // sweep in the same element order, then the same per-element xhat — but
+  // no running-stat update, no x_hat stash, no inv_std_ write. Any change
+  // to the float op sequence in forward() must be mirrored here, or the
+  // recompute tier's byte-identity contract breaks.
+  tensor::parallel_for(channels_, 4 * n * hw, [&](std::size_t c) {
+    double mean_w = 0.0, m2 = 0.0;
+    std::size_t k = 0;
+    for (std::size_t smp = 0; smp < n; ++smp) {
+      const float* src = input.data() + smp * chw + c * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const double x = src[i];
+        ++k;
+        const double d = x - mean_w;
+        mean_w += d / static_cast<double>(k);
+        m2 += d * (x - mean_w);
+      }
+    }
+    const double mean = mean_w;
+    double var = m2 / count;
+    if (var < 0.0) var = 0.0;
+    const double istd = 1.0 / std::sqrt(var + eps_);
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::size_t smp = 0; smp < n; ++smp) {
+      const float* src = input.data() + smp * chw + c * hw;
+      float* dst = out.data() + smp * chw + c * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float xhat = static_cast<float>((src[i] - mean) * istd);
+        dst[i] = g * xhat + b;
+      }
+    }
+  });
+  return out;
+}
+
 Tensor BatchNorm::backward(const Tensor& grad_output) {
   if (!x_hat_paged_ && !x_hat_.held())
     throw std::logic_error(name_ + ": backward without forward");

@@ -46,10 +46,9 @@ std::vector<Param*> Conv2d::params() {
   return {&weight_};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2d::compute(const Tensor& input) const {
   if (input.shape().c() != spec_.in_channels)
     throw std::invalid_argument(name_ + ": channel mismatch");
-  input_shape_ = input.shape();
   const Shape out_shape = output_shape(input.shape());
   const std::size_t n = input.shape().n();
   const std::size_t k = spec_.in_channels * spec_.kh() * spec_.kw();
@@ -80,6 +79,21 @@ Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
       }
     }
   });
+  return out;
+}
+
+Tensor Conv2d::replay_forward(const Tensor& input) const { return compute(input); }
+
+double Conv2d::replay_flops(const Shape& input) const {
+  const Shape out = output_shape(input);
+  const double k =
+      static_cast<double>(spec_.in_channels) * spec_.kh() * spec_.kw();
+  return 2.0 * k * static_cast<double>(out.numel());
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  input_shape_ = input.shape();
+  Tensor out = compute(input);
 
   if (store_ != nullptr) {
     // Stash the *input* activation (paper: G = A x L requires A in backward).

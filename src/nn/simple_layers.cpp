@@ -30,6 +30,14 @@ Tensor ReLU::forward(const Tensor& input, bool /*train*/) {
   return out;
 }
 
+Tensor ReLU::replay_forward(const Tensor& input) const {
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  }
+  return out;
+}
+
 Tensor ReLU::backward(const Tensor& grad_output) {
   Tensor grad(shape_);
   for (std::size_t i = 0; i < grad.numel(); ++i) {
@@ -42,6 +50,12 @@ Tensor Flatten::forward(const Tensor& input, bool /*train*/) {
   shape_ = input.shape();
   Tensor out = input.clone();
   out.reshape(output_shape(shape_));
+  return out;
+}
+
+Tensor Flatten::replay_forward(const Tensor& input) const {
+  Tensor out = input.clone();
+  out.reshape(output_shape(input.shape()));
   return out;
 }
 

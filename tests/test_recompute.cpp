@@ -1,0 +1,443 @@
+/// \file test_recompute.cpp
+/// The recompute tier's contracts (ISSUE 8): (1) the spill-vs-replay
+/// decision never changes a byte — losses, parameters and counters are
+/// bitwise identical to the recompute-off run at every pool size x budget
+/// point; (2) with pinned cost rates the decision itself is deterministic,
+/// so counters (drops and replays included) agree counter-for-counter
+/// across pool sizes; (3) replay failures surface as exceptions, never as
+/// hangs of the drop pump; (4) the cost-model spec and the EBCT_RECOMPUTE
+/// flag parse strictly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "core/sz_codec.hpp"
+#include "memory/cost_model.hpp"
+#include "memory/pager.hpp"
+#include "memory/recompute.hpp"
+#include "models/model_zoo.hpp"
+#include "tensor/sched.hpp"
+#include "util/test_util.hpp"
+
+namespace ebct {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Rates that price replay below spill for every page (pinned, so the
+/// decision is a pure function of eligibility — no timing).
+constexpr const char* kFavourReplay = "encode=0,decode=0,write=1000,read=1000,flop=0";
+/// Rates that price spill at zero, so recompute never wins.
+constexpr const char* kFavourSpill = "encode=1000,decode=0,write=0,read=0,flop=1000";
+
+// ---------------------------------------------------------------------------
+// Cost-model strict parse
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, PinnedSpecParses) {
+  memory::CostModel m("encode=1.5,decode=2,write=3,read=0,flop=0.25");
+  const memory::CostModelSnapshot s = m.snapshot();
+  EXPECT_TRUE(s.pinned);
+  EXPECT_TRUE(s.calibrated);
+  EXPECT_EQ(s.rates.encode_ns_per_byte, 1.5);
+  EXPECT_EQ(s.rates.decode_ns_per_byte, 2.0);
+  EXPECT_EQ(s.rates.write_ns_per_byte, 3.0);
+  EXPECT_EQ(s.rates.read_ns_per_byte, 0.0);
+  EXPECT_EQ(s.rates.flop_ns, 0.25);
+  EXPECT_TRUE(m.calibrated());
+}
+
+TEST(CostModel, MalformedSpecsThrow) {
+  const char* bad[] = {
+      "encode=1,decode=1,write=1,read=1",              // 4 parts
+      "encode=1,decode=1,write=1,read=1,flop=1,x=1",   // 6 parts
+      "decode=1,encode=1,write=1,read=1,flop=1",       // wrong key order
+      "encode=1,decode=1,write=1,read=1,flops=1",      // wrong key name
+      "encode=1,decode=1,write=1,read=1,flop=",        // empty value
+      "encode=1,decode=1,write=1,read=1,flop=1x",      // trailing junk
+      "encode=1,decode=1,write=1,read=1,flop=-1",      // negative
+      "encode=1,decode=1,write=1,read=1,flop=nan",     // not finite
+      "encode 1,decode=1,write=1,read=1,flop=1",       // missing '='
+      "garbage",
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(memory::CostModel{std::string(spec)}, std::invalid_argument)
+        << "accepted: " << spec;
+  }
+}
+
+TEST(CostModel, MeasuredModeFreezesAfterCalibration) {
+  memory::CostModel m("");
+  EXPECT_FALSE(m.calibrated());
+  // Not calibrated -> never prefers recompute (spill fallback).
+  EXPECT_FALSE(m.prefer_recompute(1 << 20, 1 << 16, 1.0));
+  for (std::size_t i = 0; i < memory::CostModel::kCalibrationSamples; ++i) {
+    m.observe_encode(1000, 1000.0);     // 1 ns/byte
+    m.observe_spill_write(1000, 4e6);   // 4000 ns/byte
+    m.observe_spill_read(1000, 4e6);
+  }
+  EXPECT_TRUE(m.calibrated());
+  // Rates freeze at the calibration average; later observations are inert.
+  m.observe_encode(1000, 9e9);
+  const memory::CostModelSnapshot s = m.snapshot();
+  EXPECT_EQ(s.rates.encode_ns_per_byte, 1.0);
+  EXPECT_EQ(s.rates.write_ns_per_byte, 4000.0);
+  // replay = flops*0.25 + raw*1; spill = blob*8000 -> replay wins easily.
+  EXPECT_TRUE(m.prefer_recompute(1 << 20, 1 << 16, 1.0));
+}
+
+TEST(PagerRecompute, CtorThrowsOnMalformedRates) {
+  memory::PagerConfig cfg;
+  cfg.recompute = true;
+  cfg.recompute_rates = "write=1,encode=1";
+  sz::Config scfg;
+  EXPECT_THROW(
+      memory::ActivationPager(cfg, std::make_shared<core::SzActivationCodec>(scfg)),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pager-level drop/replay behaviour against a fake source
+// ---------------------------------------------------------------------------
+
+/// Replays by handing back a clone of the tensor registered per layer.
+class FakeSource : public memory::RecomputeSource {
+ public:
+  void set(const std::string& layer, Tensor t) { values_[layer] = std::move(t); }
+  bool can_replay(const std::string& layer) const override {
+    return values_.count(layer) > 0;
+  }
+  double replay_flops(const std::string&) const override { return 1.0; }
+  Tensor replay(const std::string& layer) const override {
+    ++replays_;
+    return values_.at(layer).clone();
+  }
+  mutable int replays_ = 0;
+
+ private:
+  std::map<std::string, Tensor> values_;
+};
+
+/// Always claims replayability, always fails to deliver.
+class ThrowingSource : public memory::RecomputeSource {
+ public:
+  bool can_replay(const std::string&) const override { return true; }
+  double replay_flops(const std::string&) const override { return 1.0; }
+  Tensor replay(const std::string& layer) const override {
+    throw std::runtime_error("replay exploded for " + layer);
+  }
+};
+
+memory::PagerConfig tight_recompute_cfg(const std::string& rates) {
+  memory::PagerConfig cfg;
+  cfg.budget_bytes = 1024;  // far below one page: every put evicts
+  cfg.prefetch_depth = 0;
+  cfg.recompute = true;
+  cfg.recompute_rates = rates;
+  return cfg;
+}
+
+TEST(PagerRecompute, DropAndReplayReproducesSpillBytes) {
+  sz::Config scfg;
+  scfg.error_bound = 1e-3;
+  Tensor act = testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 42, 0.5);
+
+  // Ground truth: the exact bytes the spill path reconstructs.
+  auto ref_codec = std::make_shared<core::SzActivationCodec>(scfg);
+  nn::EncodedActivation enc = ref_codec->encode("conv", act);
+  enc.shape = act.shape();
+  enc.layer = "conv";
+  const Tensor expect = ref_codec->decode(enc);
+
+  FakeSource src;
+  src.set("conv", act.clone());
+  memory::ActivationPager pager(tight_recompute_cfg(kFavourReplay),
+                                std::make_shared<core::SzActivationCodec>(scfg));
+  pager.set_recompute_source(&src);
+  const memory::PageId h = pager.put("conv", act.clone());
+  EXPECT_EQ(pager.tier(h), memory::Tier::kRecompute);
+  const memory::PagerCounters mid = pager.counters();
+  EXPECT_EQ(mid.recompute_drops, 1u);
+  EXPECT_EQ(mid.evictions, 1u);
+  EXPECT_EQ(mid.spill_write_bytes, 0u);  // the blob never touched disk
+  EXPECT_EQ(mid.recompute_bytes, act.numel() * sizeof(float));
+
+  Tensor got = pager.drop(h);
+  ASSERT_EQ(got.numel(), expect.numel());
+  EXPECT_EQ(std::memcmp(got.data(), expect.data(), expect.numel() * sizeof(float)), 0)
+      << "replayed bytes differ from the spill path's";
+  EXPECT_EQ(src.replays_, 1);
+  const memory::PagerCounters after = pager.counters();
+  EXPECT_EQ(after.recompute_replays, 1u);
+  EXPECT_EQ(after.recompute_bytes, 0u);
+}
+
+TEST(PagerRecompute, UnfavourableRatesFallBackToSpill) {
+  sz::Config scfg;
+  scfg.error_bound = 1e-3;
+  Tensor act = testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 7, 0.5);
+  FakeSource src;
+  src.set("conv", act.clone());
+  memory::ActivationPager pager(tight_recompute_cfg(kFavourSpill),
+                                std::make_shared<core::SzActivationCodec>(scfg));
+  pager.set_recompute_source(&src);
+  const memory::PageId h = pager.put("conv", act.clone());
+  EXPECT_EQ(pager.tier(h), memory::Tier::kSpilled);
+  EXPECT_EQ(pager.counters().recompute_drops, 0u);
+  Tensor got = pager.drop(h);  // normal disk path still works
+  EXPECT_EQ(src.replays_, 0);
+  EXPECT_GT(got.numel(), 0u);
+}
+
+TEST(PagerRecompute, ReplayFailureSurfacesWithoutHanging) {
+  sz::Config scfg;
+  scfg.error_bound = 1e-3;
+  ThrowingSource src;
+  memory::ActivationPager pager(tight_recompute_cfg(kFavourReplay),
+                                std::make_shared<core::SzActivationCodec>(scfg));
+  pager.set_recompute_source(&src);
+  Tensor act = testutil::relu_like_tensor(Shape::nchw(1, 8, 32, 32), 9, 0.5);
+  const memory::PageId h = pager.put("conv", act.clone());
+  ASSERT_EQ(pager.tier(h), memory::Tier::kRecompute);
+  EXPECT_THROW(pager.drop(h), std::runtime_error);
+  // The page survives the failed materialization; clearing the source
+  // makes the next attempt fail loudly too (no source to replay through).
+  pager.set_recompute_source(nullptr);
+  EXPECT_THROW(pager.drop(h), std::logic_error);
+  // Destructor must tear the still-live recompute page down cleanly.
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism matrix
+// ---------------------------------------------------------------------------
+
+/// Same env hygiene as the graph-exec matrix: a CI leg exporting any of
+/// these would silently re-route matrix points.
+class RecomputeMatrix : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    initial_pool_ = tensor::sched::num_threads();
+    for (const char* name : kVars) {
+      const char* v = std::getenv(name);
+      saved_.emplace_back(name, v ? std::optional<std::string>(v) : std::nullopt);
+      unsetenv(name);
+    }
+  }
+  void TearDown() override {
+    for (const auto& [name, value] : saved_) {
+      if (value) {
+        setenv(name.c_str(), value->c_str(), 1);
+      } else {
+        unsetenv(name.c_str());
+      }
+    }
+    tensor::sched::set_num_threads(initial_pool_);
+  }
+
+ private:
+  static constexpr const char* kVars[] = {
+      "EBCT_RECOMPUTE",       "EBCT_RECOMPUTE_RATES", "EBCT_GRAPH_EXEC",
+      "EBCT_GRAPH_REWRITES",  "EBCT_WRITE_BEHIND",    "EBCT_MEMORY_BUDGET_BYTES",
+      "EBCT_PREFETCH_DEPTH",
+  };
+  std::vector<std::pair<std::string, std::optional<std::string>>> saved_;
+  int initial_pool_ = 1;
+};
+
+struct RunResult {
+  std::vector<double> losses;
+  std::vector<float> params;
+  memory::PagerCounters counters;
+};
+
+RunResult train_once(int pool, std::size_t budget, bool recompute,
+                     bool write_behind = false, std::size_t iterations = 2) {
+  tensor::sched::set_num_threads(pool);
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.125;
+  mcfg.seed = 7;
+  auto net = models::make_inception_v4(mcfg);
+
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 32;
+  dspec.seed = 777;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true, 31);
+
+  core::SessionConfig cfg;
+  cfg.framework.active_factor_w = 4;
+  cfg.framework.memory_budget_bytes = budget;
+  cfg.framework.prefetch_depth = 0;  // pin: counters independent of timing
+  cfg.framework.write_behind = write_behind;
+  cfg.framework.recompute = recompute;
+  cfg.framework.recompute_rates = recompute ? kFavourReplay : "";
+  cfg.base_lr = 0.05;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(iterations);
+
+  RunResult r;
+  for (const auto& rec : session.history()) r.losses.push_back(rec.loss);
+  for (auto* p : net->params()) {
+    const auto s = p->value.span();
+    r.params.insert(r.params.end(), s.begin(), s.end());
+  }
+  r.counters = session.paged_store()->pager().counters();
+  return r;
+}
+
+void expect_identical(const RunResult& got, const RunResult& ref,
+                      const std::string& label) {
+  ASSERT_EQ(got.losses.size(), ref.losses.size()) << label;
+  for (std::size_t i = 0; i < ref.losses.size(); ++i) {
+    ASSERT_EQ(got.losses[i], ref.losses[i]) << label << " iter " << i;
+  }
+  ASSERT_EQ(got.params.size(), ref.params.size()) << label;
+  ASSERT_EQ(std::memcmp(got.params.data(), ref.params.data(),
+                        ref.params.size() * sizeof(float)),
+            0)
+      << label << ": parameters diverged";
+}
+
+void expect_same_counters(const memory::PagerCounters& a,
+                          const memory::PagerCounters& b, const std::string& label) {
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.spill_write_bytes, b.spill_write_bytes) << label;
+  EXPECT_EQ(a.spill_read_bytes, b.spill_read_bytes) << label;
+  EXPECT_EQ(a.dedup_pages, b.dedup_pages) << label;
+  EXPECT_EQ(a.over_budget_events, b.over_budget_events) << label;
+  EXPECT_EQ(a.peak_resident_bytes, b.peak_resident_bytes) << label;
+  EXPECT_EQ(a.recompute_drops, b.recompute_drops) << label;
+  EXPECT_EQ(a.recompute_replays, b.recompute_replays) << label;
+}
+
+/// Pools {1, 2, max} x budgets {~50%, ~25% of peak} x recompute {off, on}
+/// on Inception. The pool-1 unbudgeted recompute-off run is ground truth;
+/// every point must match it bitwise in losses and parameters, and with
+/// pinned rates the full counter stream (drops and replays included) must
+/// agree across pool sizes at each (budget, recompute) point.
+TEST_F(RecomputeMatrix, InceptionBitwiseAcrossPoolsBudgetsAndRecompute) {
+  const int max_pool = std::min(4, tensor::sched::num_threads());
+  const RunResult ref = train_once(1, 0, /*recompute=*/false);
+  const std::size_t peak = ref.counters.peak_resident_bytes;
+  ASSERT_GT(peak, 0u);
+
+  for (const std::size_t budget : {peak / 2, peak / 4}) {
+    for (const bool rc : {false, true}) {
+      RunResult pool1;
+      for (const int pool : {1, 2, max_pool}) {
+        const std::string point = "pool=" + std::to_string(pool) +
+                                  " budget=" + std::to_string(budget) +
+                                  " rc=" + std::to_string(rc);
+        const RunResult got = train_once(pool, budget, rc);
+        expect_identical(got, ref, point);
+        if (pool == 1) {
+          pool1 = got;
+        } else {
+          expect_same_counters(got.counters, pool1.counters, point);
+        }
+        if (rc) {
+          // ISSUE 8 acceptance: at <=50% budget the model must actually
+          // pick recompute for at least one page.
+          EXPECT_GE(got.counters.recompute_drops, 1u) << point;
+          EXPECT_GE(got.counters.recompute_replays, 1u) << point;
+        } else {
+          EXPECT_EQ(got.counters.recompute_drops, 0u) << point;
+        }
+        EXPECT_LE(got.counters.peak_resident_bytes, budget) << point;
+      }
+    }
+  }
+}
+
+TEST_F(RecomputeMatrix, WriteBehindRecomputeMatchesSynchronous) {
+  const int max_pool = std::min(4, tensor::sched::num_threads());
+  const RunResult ref = train_once(1, 0, /*recompute=*/false);
+  const std::size_t tight = ref.counters.peak_resident_bytes / 4;
+  ASSERT_GT(tight, 0u);
+  const RunResult sync = train_once(1, tight, /*recompute=*/true, /*wb=*/false);
+  for (const int pool : {1, max_pool}) {
+    const std::string point = "wb pool=" + std::to_string(pool);
+    const RunResult wb = train_once(pool, tight, /*recompute=*/true, /*wb=*/true);
+    expect_identical(wb, ref, point);
+    expect_same_counters(wb.counters, sync.counters, point);
+    EXPECT_GE(wb.counters.recompute_drops, 1u) << point;
+  }
+}
+
+/// A replay failure mid-backward must propagate out of session.run() —
+/// through the executor's drop pump — rather than hanging it.
+TEST_F(RecomputeMatrix, SessionSurfacesReplayFailure) {
+  const RunResult ref = train_once(1, 0, /*recompute=*/false);
+  const std::size_t tight = ref.counters.peak_resident_bytes / 4;
+
+  tensor::sched::set_num_threads(2);
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.125;
+  mcfg.seed = 7;
+  auto net = models::make_inception_v4(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 32;
+  dspec.seed = 777;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true, 31);
+
+  core::SessionConfig cfg;
+  cfg.framework.memory_budget_bytes = tight;
+  cfg.framework.prefetch_depth = 0;
+  cfg.framework.recompute = true;
+  cfg.framework.recompute_rates = kFavourReplay;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(1);  // healthy iteration installs graph + replay engine
+
+  ThrowingSource thrower;
+  session.paged_store()->set_recompute_source(&thrower);
+  EXPECT_THROW(session.run(1), std::runtime_error);
+  session.paged_store()->set_recompute_source(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Strict env parsing
+// ---------------------------------------------------------------------------
+
+TEST_F(RecomputeMatrix, StrictEnvParsing) {
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.125;
+  mcfg.seed = 7;
+  auto net = models::make_inception_v4(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true, 31);
+
+  setenv("EBCT_RECOMPUTE", "yes", 1);
+  EXPECT_THROW(core::TrainingSession(*net, loader, core::SessionConfig{}),
+               std::invalid_argument);
+  setenv("EBCT_RECOMPUTE", "1", 1);
+  setenv("EBCT_RECOMPUTE_RATES", "fast please", 1);
+  EXPECT_THROW(core::TrainingSession(*net, loader, core::SessionConfig{}),
+               std::invalid_argument);
+  unsetenv("EBCT_RECOMPUTE");
+  unsetenv("EBCT_RECOMPUTE_RATES");
+}
+
+}  // namespace
+}  // namespace ebct

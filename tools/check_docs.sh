@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by the docs leg of CI and usable
+# locally from the repo root:
+#
+#   tools/check_docs.sh
+#
+# Two gates, both stdlib-only (bash + python3, no packages):
+#
+#  1. Link check — every relative markdown link in README.md and docs/*.md
+#     must resolve to an existing file or directory. External links
+#     (http/https/mailto) and pure in-page anchors are skipped; a
+#     "path#anchor" link is checked for the file part only.
+#
+#  2. Env-var drift guard — every EBCT_[A-Z_]* name that appears anywhere
+#     in src/ or bench/ must be documented in docs/CONFIG.md. A new env
+#     var without a CONFIG.md row fails CI until it is written up.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== markdown link check =="
+python3 - <<'EOF' || fail=1
+import glob, os, re, sys
+
+# [text](target) — excluding images is unnecessary: image targets must
+# exist too. Reference-style links are not used in this repo.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ok = True
+files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+for md in files:
+    base = os.path.dirname(md)
+    with open(md, encoding="utf-8") as f:
+        text = f.read()
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            print(f"BROKEN  {md}: ({target}) -> {resolved}")
+            ok = False
+print(f"checked {len(files)} files")
+sys.exit(0 if ok else 1)
+EOF
+
+echo "== EBCT_* env-var drift guard =="
+# Any EBCT_ name in code (string literal or comment) counts: a variable
+# mentioned in a doc comment but missing from CONFIG.md is still drift.
+vars=$(grep -rhoE "EBCT_[A-Z_]+" src bench | sort -u)
+for v in $vars; do
+  # \b so EBCT_RECOMPUTE is not satisfied by EBCT_RECOMPUTE_RATES alone.
+  if ! grep -qE "${v}\b" docs/CONFIG.md; then
+    echo "UNDOCUMENTED  $v (found in src/ or bench/, missing from docs/CONFIG.md)"
+    fail=1
+  fi
+done
+echo "checked $(echo "$vars" | wc -l) env vars"
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"
