@@ -102,6 +102,8 @@ struct ExecRun {
   std::size_t max_dispatch = 0;
   std::size_t peak_resident = 0;
   bool executor_active = false;
+  /// Consolidated TrainingSession::metrics() snapshot (JsonReporter-shaped).
+  std::vector<std::pair<std::string, double>> metrics;
 };
 
 /// One Inception training step (scaled geometry) under the given executor /
@@ -135,6 +137,7 @@ ExecRun inception_step(bool exec, bool write_behind, std::size_t budget) {
     r.executor_active = true;
     r.max_dispatch = session.executor()->max_parallel_dispatch();
   }
+  r.metrics = session.metrics();
   return r;
 }
 
@@ -173,6 +176,9 @@ int executor_ab_section(bench::JsonReporter& report) {
                   {"speedup_vs_sequential", seq.sec / r.sec},
                   {"max_parallel_dispatch", static_cast<double>(r.max_dispatch)},
                   {"peak_resident_bytes", static_cast<double>(r.peak_resident)}});
+      // The fully-featured point's consolidated runtime snapshot (per-phase
+      // timings + pager/scheduler/executor counters) as one row.
+      if (exec && wb) report.add("exec_ab_graph_wb_session_metrics", r.metrics);
       if (exec && !r.executor_active) {
         std::fprintf(stderr, "fig11 FAIL: graph executor did not engage\n");
         ++failures;

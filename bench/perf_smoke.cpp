@@ -12,6 +12,7 @@
 // timed row slower than EBCT_PERF_MAX_SLOWDOWN x its baseline (default
 // 1.25) fails the run. Shared CI leaves the env unset. Exit code 0 = pass.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +23,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/session.hpp"
+#include "data/synthetic.hpp"
+#include "models/model_zoo.hpp"
 #include "nn/conv2d.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/parallel.hpp"
@@ -167,6 +172,67 @@ void time_reduced_shapes(bench::JsonReporter& report, TimingRows& timings,
                                {"p99_ns", ss.percentile_ns(0.99)}});
 }
 
+/// Per-phase iteration-to-iteration variance on a small framework training
+/// run, via the obs::MetricsRegistry drained around every iteration. The
+/// coefficient of variation per phase is the runner-noise characterization
+/// the EBCT_PERF_ENFORCE decision (ROADMAP, carried from PR 3) is based
+/// on: wall-clock gating is only as trustworthy as the quietest phase.
+/// Rows use metric keys other than "seconds", so the wall-clock baseline
+/// parser ignores them by construction.
+void measure_phase_variance(bench::JsonReporter& report, int machine_threads) {
+  set_threads(machine_threads);
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 6;
+  auto net = models::make_resnet18(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 64;
+  dspec.seed = 2300;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true, 4);
+  core::SessionConfig cfg;
+  cfg.framework.active_factor_w = 50;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(2);  // warm-up
+
+  constexpr int kSamples = 8;
+  auto& reg = obs::MetricsRegistry::instance();
+  std::vector<obs::PhaseSnapshot> samples;
+  (void)reg.drain();  // discard warm-up accumulation
+  for (int i = 0; i < kSamples; ++i) {
+    session.run(1);
+    samples.push_back(reg.drain());
+  }
+
+  std::printf("%-24s %10s %10s %6s\n", "phase_variance", "mean ms", "stddev ms",
+              "cv");
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    double mean = 0.0;
+    for (const auto& s : samples) mean += static_cast<double>(s[p].ns);
+    mean /= kSamples;
+    if (mean <= 0.0) continue;  // phase never ran (e.g. no spill traffic)
+    double var = 0.0;
+    for (const auto& s : samples) {
+      const double d = static_cast<double>(s[p].ns) - mean;
+      var += d * d;
+    }
+    const double stddev = std::sqrt(var / kSamples);
+    const double cv = stddev / mean;
+    const char* name = obs::phase_name(static_cast<obs::Phase>(p));
+    std::printf("  %-22s %10.3f %10.3f %6.3f\n", name, mean / 1e6, stddev / 1e6,
+                cv);
+    report.add(std::string("phase_variance_") + name,
+               {{"mean_ns", mean}, {"stddev_ns", stddev}, {"cv", cv}});
+  }
+
+  // The full consolidated snapshot of this session, one machine-readable row.
+  report.add("session_metrics", session.metrics());
+}
+
 /// Rows of a previous BENCH_perf_smoke.json: name -> seconds. The format is
 /// our own JsonReporter's (one row object per line), so a line scan is a
 /// complete parser for it.
@@ -225,6 +291,7 @@ int main() {
   check_gemm_determinism();
   check_conv_determinism();
   time_reduced_shapes(report, timings, machine_threads);
+  measure_phase_variance(report, machine_threads);
   check_wallclock_gate(timings);
   if (g_failures == 0) std::printf("perf_smoke: all structural checks passed\n");
   return g_failures == 0 ? 0 : 1;

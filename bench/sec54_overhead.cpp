@@ -4,6 +4,7 @@
 // (Layrub: 2.4x memory reduction at 24.1% overhead, per the paper).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "baselines/strategies.hpp"
 #include "bench_util.hpp"
@@ -12,6 +13,7 @@
 #include "memory/accounting.hpp"
 #include "memory/report.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/trace.hpp"
 
 using namespace ebct;
 
@@ -47,11 +49,95 @@ StepStats measure(const std::string& codec, std::size_t batch, const std::string
   return s;
 }
 
+/// Cost of the hot-path guard every instrumented site pays when tracing is
+/// off: one relaxed atomic load. Measured directly so the "absent"
+/// (instrumentation-free) step time can be estimated without recompiling.
+double measure_check_ns() {
+  constexpr int kIters = 20'000'000;
+  volatile int sink = 0;
+  const double s = bench::time_seconds([&] {
+    for (int i = 0; i < kIters; ++i) {
+      if (obs::trace::enabled()) sink = sink + 1;
+    }
+  });
+  return s * 1e9 / kIters;
+}
+
+/// The §5.4-style bracket for the tracing layer itself: one framework
+/// session stepped with the rings cold (enabled() == false), hot
+/// (recording), and an analytic estimate of instrumentation-absent time
+/// (disabled time minus measured guard cost x guard crossings). The
+/// disabled-mode gate (< 2% over absent-estimate) warns by default and
+/// fails the bench only under EBCT_PERF_ENFORCE=1, same convention as
+/// perf_smoke.
+bool trace_overhead_bracket(bench::JsonReporter& json) {
+  const bool was_enabled = obs::trace::enabled();
+  obs::trace::disable();
+
+  models::ModelConfig mcfg;
+  mcfg.input_hw = 16;
+  mcfg.num_classes = 4;
+  mcfg.width_multiplier = 0.25;
+  mcfg.seed = 6;
+  auto net = models::make_resnet18(mcfg);
+  data::SyntheticSpec dspec;
+  dspec.num_classes = 4;
+  dspec.image_hw = 16;
+  dspec.train_per_class = 64;
+  dspec.seed = 2300;
+  data::SyntheticImageDataset ds(dspec);
+  data::DataLoader loader(ds, 8, true, true, 4);
+  core::SessionConfig cfg;
+  cfg.framework.codec = "sz";
+  cfg.framework.active_factor_w = 50;
+  core::TrainingSession session(*net, loader, cfg);
+  session.run(2);  // warm-up
+
+  const double t_dis = bench::time_median([&] { session.run(3); }) / 3.0;
+
+  obs::trace::enable();
+  obs::trace::reset();
+  const double t_en = bench::time_median([&] { session.run(3); }) / 3.0;
+  // time_median runs the body 4x (warm-up + 3 timed) at 3 iterations each.
+  const double spans_per_step = static_cast<double>(obs::trace::emitted()) / 12.0;
+  obs::trace::reset();
+  obs::trace::disable();
+
+  const double check_ns = measure_check_ns();
+  // Each span costs ~2 guard crossings (constructor + destructor check).
+  const double t_absent = t_dis - 2.0 * spans_per_step * check_ns * 1e-9;
+  const double dis_overhead = (t_dis - t_absent) / t_absent;
+  const double en_overhead = (t_en - t_dis) / t_dis;
+  const bool gate_ok = dis_overhead < 0.02;
+
+  std::printf("\n--- tracing-layer overhead (ResNet-18 b8, sz) ---\n");
+  std::printf("s/iter: absent-est %.4f | trace disabled %.4f | trace enabled %.4f\n",
+              t_absent, t_dis, t_en);
+  std::printf("guard: %.2f ns/check, %.0f spans/step -> disabled overhead %.3f%%"
+              " (gate < 2%%: %s); enabled overhead %.1f%%\n",
+              check_ns, spans_per_step, 100.0 * dis_overhead,
+              gate_ok ? "PASS" : "FAIL", 100.0 * en_overhead);
+
+  json.add("trace_overhead",
+           {{"step_s_absent_est", t_absent},
+            {"step_s_trace_disabled", t_dis},
+            {"step_s_trace_enabled", t_en},
+            {"spans_per_step", spans_per_step},
+            {"guard_check_ns", check_ns},
+            {"disabled_overhead_frac", dis_overhead},
+            {"enabled_overhead_frac", en_overhead},
+            {"disabled_gate_ok", gate_ok ? 1.0 : 0.0}});
+
+  if (was_enabled) obs::trace::enable();
+  return gate_ok;
+}
+
 }  // namespace
 
 int main() {
   std::puts("=== §5.4 — framework overhead and batch-scaling recovery ===\n");
 
+  bench::JsonReporter json("sec54_overhead");
   memory::Table table({"model", "batch", "baseline s/iter", "framework s/iter",
                        "overhead", "conv ratio"});
   for (const auto& model : {std::string("VGG-16"), std::string("ResNet-18")}) {
@@ -62,9 +148,16 @@ int main() {
                      memory::fmt("%.3f", f.seconds),
                      memory::fmt("%.0f%%", 100.0 * (f.seconds - b.seconds) / b.seconds),
                      memory::fmt("%.1fx", f.ratio)});
+      json.add(model + "_b" + std::to_string(batch),
+               {{"baseline_s_iter", b.seconds},
+                {"framework_s_iter", f.seconds},
+                {"overhead_frac", (f.seconds - b.seconds) / b.seconds},
+                {"conv_ratio", f.ratio}});
     }
   }
   table.print();
+
+  const bool trace_gate_ok = trace_overhead_bracket(json);
 
   // Amortisation: per-image compression cost is roughly constant, while
   // per-image compute grows slightly sublinearly; growing the batch into
@@ -102,5 +195,16 @@ int main() {
   std::puts("shrinking when the batch grows into the freed memory (paper: 7% on");
   std::puts("VGG-16), and a better memory/overhead trade-off than migration");
   std::puts("(Layrub: 2.4x at 24.1%) or recomputation.");
+
+  if (!trace_gate_ok) {
+    const char* enforce = std::getenv("EBCT_PERF_ENFORCE");
+    if (enforce != nullptr && enforce[0] == '1') {
+      std::fprintf(stderr, "FAIL: disabled-mode trace overhead exceeds 2%% gate\n");
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "WARN: disabled-mode trace overhead exceeds 2%% gate "
+                 "(set EBCT_PERF_ENFORCE=1 to make this fatal)\n");
+  }
   return 0;
 }

@@ -1,13 +1,19 @@
 #include "core/session.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 
 #include "core/codec_registry.hpp"
 #include "graph/rewrite.hpp"
+#include "memory/accounting.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/sched.hpp"
 
 namespace ebct::core {
 
@@ -205,19 +211,28 @@ void TrainingSession::run(std::size_t iterations,
     if (replay_) replay_->set_input(&images);
 
     const bool use_exec = executor_ && executor_->handles(images.shape());
-    Tensor logits = use_exec ? executor_->forward(images, /*train=*/true)
-                             : net_.forward(images, /*train=*/true);
+    Tensor logits;
+    {
+      obs::trace::Span span("session.forward", obs::trace::Cat::kSession);
+      obs::ScopedPhase phase(obs::Phase::kForward);
+      logits = use_exec ? executor_->forward(images, /*train=*/true)
+                        : net_.forward(images, /*train=*/true);
+    }
     const std::size_t held = net_.store().held_bytes();
     const std::size_t spilled =
         framework_store_ ? framework_store_->pager().spilled_bytes() : 0;
     const nn::LossResult lr = loss_.compute(logits, labels);
     // Announce the LIFO replay so the pager starts fetching the deepest
     // activations while the loss layer's gradient is still being formed.
-    net_.store().prepare_backward();
-    if (use_exec) {
-      executor_->backward(lr.grad_logits);
-    } else {
-      net_.backward(lr.grad_logits);
+    {
+      obs::trace::Span span("session.backward", obs::trace::Cat::kSession);
+      obs::ScopedPhase phase(obs::Phase::kBackward);
+      net_.store().prepare_backward();
+      if (use_exec) {
+        executor_->backward(lr.grad_logits);
+      } else {
+        net_.backward(lr.grad_logits);
+      }
     }
     // All stashes are consumed by now; anything stashed after this point
     // (e.g. an eval batch) must not be replayed against this input.
@@ -253,6 +268,105 @@ void TrainingSession::run(std::size_t iterations,
     if (on_iteration) on_iteration(rec);
     ++iteration_;
   }
+
+  // EBCT_METRICS=<path>: dump the consolidated snapshot after every run()
+  // (last writer wins, so a multi-run process leaves its final state).
+  // Path semantics match EBCT_SPILL_DIR: empty string = unset.
+  if (const char* env = std::getenv("EBCT_METRICS"); env != nullptr && env[0] != '\0') {
+    write_metrics_json(env);
+  }
+}
+
+std::vector<std::pair<std::string, double>> TrainingSession::metrics() const {
+  std::vector<std::pair<std::string, double>> m;
+  m.emplace_back("iterations", static_cast<double>(iteration_));
+
+  // Per-phase wall-clock — process-wide accumulators (every session in the
+  // process adds to them; benches wanting per-section numbers drain the
+  // registry around the section instead).
+  const obs::PhaseSnapshot ph = obs::MetricsRegistry::instance().snapshot();
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    const std::string base =
+        std::string("phase.") + obs::phase_name(static_cast<obs::Phase>(i));
+    m.emplace_back(base + ".ns", static_cast<double>(ph[i].ns));
+    m.emplace_back(base + ".count", static_cast<double>(ph[i].count));
+  }
+
+  // This session's pager counters (absent in baseline/custom modes).
+  if (framework_store_) {
+    const memory::PagerCounters c = framework_store_->pager().counters();
+    const std::pair<const char*, std::size_t> rows[] = {
+        {"pager.resident_bytes", c.resident_bytes},
+        {"pager.peak_resident_bytes", c.peak_resident_bytes},
+        {"pager.raw_bytes", c.raw_bytes},
+        {"pager.compressed_bytes", c.compressed_bytes},
+        {"pager.spilled_bytes", c.spilled_bytes},
+        {"pager.evictions", c.evictions},
+        {"pager.spill_write_bytes", c.spill_write_bytes},
+        {"pager.spill_read_bytes", c.spill_read_bytes},
+        {"pager.prefetch_submitted", c.prefetch_submitted},
+        {"pager.prefetch_hits", c.prefetch_hits},
+        {"pager.over_budget_events", c.over_budget_events},
+        {"pager.dedup_pages", c.dedup_pages},
+        {"pager.dedup_saved_bytes", c.dedup_saved_bytes},
+        {"pager.recompute_bytes", c.recompute_bytes},
+        {"pager.recompute_drops", c.recompute_drops},
+        {"pager.recompute_replays", c.recompute_replays},
+    };
+    for (const auto& [name, v] : rows)
+      m.emplace_back(name, static_cast<double>(v));
+  }
+
+  // Process-wide tier accounting (live + peak per tier).
+  {
+    const memory::TierUsage tu = memory::TierAccounting::instance().usage();
+    static const char* kTierNames[memory::kNumTiers] = {"raw", "compressed",
+                                                        "spilled", "recompute"};
+    for (int t = 0; t < memory::kNumTiers; ++t) {
+      const std::string base = std::string("tiers.") + kTierNames[t];
+      m.emplace_back(base + ".live_bytes", static_cast<double>(tu.live[t]));
+      m.emplace_back(base + ".peak_bytes", static_cast<double>(tu.peak[t]));
+    }
+  }
+
+  // Scheduler pool + steal latency (non-destructive snapshot).
+  {
+    const tensor::sched::StealStats ss = tensor::sched::steal_stats();
+    m.emplace_back("sched.threads",
+                   static_cast<double>(tensor::sched::num_threads()));
+    m.emplace_back("sched.steals", static_cast<double>(ss.recorded));
+    m.emplace_back("sched.steal_p50_ns", ss.percentile_ns(0.5));
+    m.emplace_back("sched.steal_p95_ns", ss.percentile_ns(0.95));
+  }
+
+  // Executor dispatch stats, when the graph-scheduled path is active.
+  if (executor_) {
+    m.emplace_back("exec.max_parallel_dispatch",
+                   static_cast<double>(executor_->max_parallel_dispatch()));
+  }
+
+  // Trace-ring health: a nonzero drop count means EBCT_TRACE_RING_EVENTS
+  // is too small for the run.
+  m.emplace_back("trace.emitted", static_cast<double>(obs::trace::emitted()));
+  m.emplace_back("trace.dropped", static_cast<double>(obs::trace::dropped()));
+  return m;
+}
+
+void TrainingSession::write_metrics_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out)
+    throw std::runtime_error("EBCT_METRICS: cannot open '" + path + "'");
+  const auto m = metrics();
+  out << "{\n";
+  char buf[64];
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g", m[i].second);
+    out << "  \"" << m[i].first << "\": " << buf
+        << (i + 1 < m.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  if (!out.flush())
+    throw std::runtime_error("EBCT_METRICS: write failed: '" + path + "'");
 }
 
 double TrainingSession::evaluate(data::DataLoader& eval_loader, std::size_t batches) {

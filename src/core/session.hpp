@@ -18,6 +18,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive.hpp"
@@ -101,6 +103,15 @@ class TrainingSession {
   graph::ReplayEngine* replay_engine() { return replay_.get(); }
   std::size_t iteration() const { return iteration_; }
 
+  /// One consolidated name → value snapshot of every runtime counter
+  /// island: per-phase wall-clock (the process-wide obs::MetricsRegistry),
+  /// this session's pager counters, tier accounting, scheduler steal
+  /// stats, executor dispatch stats, and trace-ring emit/drop totals.
+  /// Rows are JsonReporter-shaped so benches emit them directly; names and
+  /// units are documented in docs/OBSERVABILITY.md. Also written as JSON
+  /// to the EBCT_METRICS path (when set) at the end of every run().
+  std::vector<std::pair<std::string, double>> metrics() const;
+
  private:
   nn::Network& net_;
   data::DataLoader& loader_;
@@ -129,6 +140,9 @@ class TrainingSession {
 
   std::vector<IterationRecord> history_;
   std::size_t iteration_ = 0;
+
+  /// EBCT_METRICS sink: metrics() as a flat JSON object at `path`.
+  void write_metrics_json(const std::string& path) const;
 };
 
 }  // namespace ebct::core

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "nn/network.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace ebct::graph {
@@ -336,6 +337,7 @@ Tensor GraphExecutor::forward_kernel(std::size_t n) {
 }
 
 void GraphExecutor::run_node_forward(std::size_t n) {
+  obs::trace::Span span("exec.node_fwd", obs::trace::Cat::kExec);
   const Node& node = graph_.node(static_cast<NodeId>(n));
   try {
     ScopedTicket ticket(this, n);
@@ -379,12 +381,15 @@ Tensor GraphExecutor::forward(const Tensor& input, bool train) {
   }
   dispatch(ready);
 
-  tensor::sched::help_while([this] {
-    return forward_done_.load(std::memory_order_acquire) == num_nodes_ ||
-           error_flag_.load(std::memory_order_acquire);
-  });
-  // Join every dispatched task before touching shared state.
-  join_dispatched();
+  {
+    obs::trace::Span span("exec.join_fwd", obs::trace::Cat::kExec);
+    tensor::sched::help_while([this] {
+      return forward_done_.load(std::memory_order_acquire) == num_nodes_ ||
+             error_flag_.load(std::memory_order_acquire);
+    });
+    // Join every dispatched task before touching shared state.
+    join_dispatched();
+  }
   if (error_flag_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lk(error_mu_);
     std::rethrow_exception(first_error_);
@@ -437,7 +442,10 @@ void GraphExecutor::maybe_commit() {
   dirty_.store(true, std::memory_order_release);
   while (dirty_.load(std::memory_order_acquire)) {
     if (commit_active_.exchange(true, std::memory_order_acquire)) return;
-    while (dirty_.exchange(false, std::memory_order_acq_rel)) drain_commits();
+    {
+      obs::trace::Span span("exec.commit", obs::trace::Cat::kExec);
+      while (dirty_.exchange(false, std::memory_order_acq_rel)) drain_commits();
+    }
     commit_active_.store(false, std::memory_order_release);
   }
 }
@@ -501,6 +509,7 @@ bool GraphExecutor::advance_pump() {
       // The pager wait inside must not inline-execute another node task:
       // it could re-enter retrieve and try to take pump ownership this
       // thread already holds. Other threads run the I/O tasks instead.
+      obs::trace::Span span("exec.pump_stage", obs::trace::Cat::kExec);
       memory::ScopedPagerNoHelp no_help;
       d.staged_value = store_.direct_retrieve(d.real);
     }
@@ -549,6 +558,7 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
         // proceeds).
         Tensor out;
         {
+          obs::trace::Span span("exec.retrieve", obs::trace::Cat::kExec);
           memory::ScopedPagerNoHelp no_help;
           out = store_.direct_retrieve(d.real);
         }
@@ -583,6 +593,7 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
         if (hd.size() != 1) break;
         Deposit& h = hd[0];
         {
+          obs::trace::Span span("exec.pump_stage", obs::trace::Cat::kExec);
           memory::ScopedPagerNoHelp no_help;
           h.staged_value = store_.direct_retrieve(h.real);
         }
@@ -615,6 +626,7 @@ Tensor GraphExecutor::retrieve(nn::StashHandle handle, bool exact) {
     // flag must wake us too: a failed task never consumes its pump slots,
     // so on error the frontier freezes and only the abort path exits.
     const std::uint64_t gen = pump_gen_.load(std::memory_order_acquire);
+    obs::trace::Span wait_span("exec.pump_wait", obs::trace::Cat::kExec);
     tensor::sched::help_while([this, &d, ticket, gen] {
       if (error_flag_.load(std::memory_order_acquire)) return true;
       if (d.staged.load(std::memory_order_acquire)) return true;
@@ -684,6 +696,7 @@ void GraphExecutor::deliver_slot(std::size_t join_node, std::size_t slot, Tensor
 }
 
 void GraphExecutor::run_node_backward(std::size_t n) {
+  obs::trace::Span span("exec.node_bwd", obs::trace::Cat::kExec);
   const Node& node = graph_.node(static_cast<NodeId>(n));
   const NodePlan& p = plan_[n];
   try {
@@ -744,11 +757,14 @@ Tensor GraphExecutor::backward(const Tensor& grad_logits) {
   grads_[output_tid_] = grad_logits.clone();
   dispatch_backward(graph_.tensor(output_tid_).producer);
 
-  tensor::sched::help_while([this] {
-    return backward_done_.load(std::memory_order_acquire) == num_nodes_ ||
-           error_flag_.load(std::memory_order_acquire);
-  });
-  join_dispatched();
+  {
+    obs::trace::Span span("exec.join_bwd", obs::trace::Cat::kExec);
+    tensor::sched::help_while([this] {
+      return backward_done_.load(std::memory_order_acquire) == num_nodes_ ||
+             error_flag_.load(std::memory_order_acquire);
+    });
+    join_dispatched();
+  }
   if (error_flag_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lk(error_mu_);
     std::rethrow_exception(first_error_);

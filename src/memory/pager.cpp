@@ -1,5 +1,8 @@
 #include "memory/pager.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -51,6 +54,14 @@ double now_ns() {
   return std::chrono::duration<double, std::nano>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Feed one already-measured operation interval into the per-phase metrics
+/// registry (the same bracket the cost model calibrates from).
+void note_phase(obs::Phase phase, double t0_ns, double t1_ns) {
+  const double el = t1_ns - t0_ns;
+  obs::MetricsRegistry::instance().add(
+      phase, el > 0 ? static_cast<std::uint64_t>(el) : 0);
 }
 
 }  // namespace
@@ -257,8 +268,14 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
     // Encode on the caller (outside mu_: the codec forks pool tasks, and
     // helping-join loops must never run under the pager lock).
     const double t0 = now_ns();
-    nn::EncodedActivation enc = codec_->encode(layer, t);
-    if (cost_model_) cost_model_->observe_encode(original, now_ns() - t0);
+    nn::EncodedActivation enc;
+    {
+      obs::trace::Span span("codec.encode", obs::trace::Cat::kCodec);
+      enc = codec_->encode(layer, t);
+    }
+    const double t1 = now_ns();
+    if (cost_model_) cost_model_->observe_encode(original, t1 - t0);
+    note_phase(obs::Phase::kEncode, t0, t1);
     enc.shape = t.shape();
     enc.layer = layer;
     std::unique_lock<std::mutex> lock(mu_);
@@ -296,9 +313,13 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
 
   // Async: bounded backpressure first, so raw tensors awaiting encode never
   // accumulate past the window (that would defeat the budget).
-  pager_wait([this] {
-    return encode_inflight_.load(std::memory_order_acquire) < cfg_.encode_window;
-  });
+  if (encode_inflight_.load(std::memory_order_acquire) >= cfg_.encode_window) {
+    obs::trace::Span span("pager.encode_wait", obs::trace::Cat::kPager);
+    obs::ScopedPhase ph(obs::Phase::kSpillWait);
+    pager_wait([this] {
+      return encode_inflight_.load(std::memory_order_acquire) < cfg_.encode_window;
+    });
+  }
 
   Page* p = nullptr;
   PageId id = 0;
@@ -338,8 +359,14 @@ PageId ActivationPager::put(const std::string& layer, Tensor&& t) {
   auto fut = tensor::sched::async([this, p] {
     try {
       const double t0 = now_ns();
-      nn::EncodedActivation enc = codec_->encode(p->layer, p->raw);
-      if (cost_model_) cost_model_->observe_encode(p->original_bytes, now_ns() - t0);
+      nn::EncodedActivation enc;
+      {
+        obs::trace::Span span("codec.encode", obs::trace::Cat::kCodec);
+        enc = codec_->encode(p->layer, p->raw);
+      }
+      const double t1 = now_ns();
+      if (cost_model_) cost_model_->observe_encode(p->original_bytes, t1 - t0);
+      note_phase(obs::Phase::kEncode, t0, t1);
       enc.shape = p->shape;
       enc.layer = p->layer;
       std::lock_guard<std::mutex> lock(mu_);
@@ -411,7 +438,11 @@ PageId ActivationPager::put_exact(const std::string& layer, Tensor&& t) {
 void ActivationPager::wait_io(Page* p, std::unique_lock<std::mutex>& lock) {
   if (!p->io_busy.load(std::memory_order_acquire)) return;
   lock.unlock();
-  pager_wait([p] { return !p->io_busy.load(std::memory_order_acquire); });
+  {
+    obs::trace::Span span("pager.io_wait", obs::trace::Cat::kPager);
+    obs::ScopedPhase ph(obs::Phase::kSpillWait);
+    pager_wait([p] { return !p->io_busy.load(std::memory_order_acquire); });
+  }
   lock.lock();
 }
 
@@ -427,6 +458,7 @@ Tensor ActivationPager::load_payload(Page* p) {
       throw std::logic_error(
           "ActivationPager: recompute page of layer '" + p->layer +
           "' has no RecomputeSource installed");
+    obs::trace::Span span("pager.replay", obs::trace::Cat::kPager);
     Tensor raw = src->replay(p->layer);
     nn::EncodedActivation enc = codec_->encode(p->layer, raw);
     enc.shape = p->shape;
@@ -436,8 +468,13 @@ Tensor ActivationPager::load_payload(Page* p) {
   if (p->spilled && !p->encoded) {
     std::vector<std::uint8_t> buf(p->extent.size);
     const double t0 = now_ns();
-    spill_->read(p->extent, buf.data());
-    if (cost_model_) cost_model_->observe_spill_read(buf.size(), now_ns() - t0);
+    {
+      obs::trace::Span span("pager.spill_read", obs::trace::Cat::kPager);
+      spill_->read(p->extent, buf.data());
+    }
+    const double t1 = now_ns();
+    if (cost_model_) cost_model_->observe_spill_read(buf.size(), t1 - t0);
+    note_phase(obs::Phase::kSpillRead, t0, t1);
     if (fnv1a(buf.data(), buf.size()) != p->checksum)
       throw std::runtime_error(
           "ActivationPager: spill payload corrupt (checksum mismatch) for page of layer '" +
@@ -453,14 +490,26 @@ Tensor ActivationPager::load_payload(Page* p) {
     enc.shape = p->shape;
     enc.layer = p->layer;
     const double d0 = now_ns();
-    Tensor out = codec_->decode(enc);
-    if (cost_model_) cost_model_->observe_decode(out.bytes(), now_ns() - d0);
+    Tensor out;
+    {
+      obs::trace::Span span("codec.decode", obs::trace::Cat::kCodec);
+      out = codec_->decode(enc);
+    }
+    const double d1 = now_ns();
+    if (cost_model_) cost_model_->observe_decode(out.bytes(), d1 - d0);
+    note_phase(obs::Phase::kDecode, d0, d1);
     return out;
   }
   if (p->encoded) {
     const double d0 = now_ns();
-    Tensor out = codec_->decode(p->enc);
-    if (cost_model_) cost_model_->observe_decode(out.bytes(), now_ns() - d0);
+    Tensor out;
+    {
+      obs::trace::Span span("codec.decode", obs::trace::Cat::kCodec);
+      out = codec_->decode(p->enc);
+    }
+    const double d1 = now_ns();
+    if (cost_model_) cost_model_->observe_decode(out.bytes(), d1 - d0);
+    note_phase(obs::Phase::kDecode, d0, d1);
     return out;
   }
   throw std::logic_error("ActivationPager: page has no payload");
@@ -714,9 +763,13 @@ void ActivationPager::enforce_to(std::size_t target_bytes,
     // here, so a completion can never slip between this read and the wait.
     const std::uint64_t gen = spill_gen_.load(std::memory_order_acquire);
     lock.unlock();
-    pager_wait([this, gen] {
-      return spill_gen_.load(std::memory_order_acquire) != gen;
-    });
+    {
+      obs::trace::Span span("pager.writeback_wait", obs::trace::Cat::kPager);
+      obs::ScopedPhase ph(obs::Phase::kSpillWait);
+      pager_wait([this, gen] {
+        return spill_gen_.load(std::memory_order_acquire) != gen;
+      });
+    }
     lock.lock();
   }
 }
@@ -763,8 +816,13 @@ bool ActivationPager::spill_payload(Page* p, std::unique_lock<std::mutex>& lock)
   try {
     sum = fnv1a(data, size);
     const double t0 = now_ns();
-    ext = file.write(data, size);
-    if (cost_model_) cost_model_->observe_spill_write(size, now_ns() - t0);
+    {
+      obs::trace::Span span("pager.spill_write", obs::trace::Cat::kPager);
+      ext = file.write(data, size);
+    }
+    const double t1 = now_ns();
+    if (cost_model_) cost_model_->observe_spill_write(size, t1 - t0);
+    note_phase(obs::Phase::kSpillWrite, t0, t1);
   } catch (...) {
     err = std::current_exception();
   }
@@ -819,8 +877,13 @@ void ActivationPager::spill_payload_async(Page* p, std::unique_lock<std::mutex>&
     try {
       sum = fnv1a(data, size);
       const double t0 = now_ns();
-      ext = file.write(data, size);
-      if (cost_model_) cost_model_->observe_spill_write(size, now_ns() - t0);
+      {
+        obs::trace::Span span("pager.spill_write_wb", obs::trace::Cat::kPager);
+        ext = file.write(data, size);
+      }
+      const double t1 = now_ns();
+      if (cost_model_) cost_model_->observe_spill_write(size, t1 - t0);
+      note_phase(obs::Phase::kSpillWrite, t0, t1);
     } catch (...) {
       err = std::current_exception();
     }
@@ -933,6 +996,7 @@ void ActivationPager::prefetch_ahead(const OrderKey* after,
 
 void ActivationPager::submit_fetch(Page* p) {
   auto fut = tensor::sched::async([this, p] {
+    obs::trace::Span span("pager.prefetch", obs::trace::Cat::kPager);
     const std::size_t need = p->shape.numel() * sizeof(float);
     const bool from_disk = p->spilled && !p->encoded;
     try {
@@ -973,6 +1037,8 @@ void ActivationPager::drain() {
       }
     }
     if (busy == nullptr) break;
+    obs::trace::Span span("pager.drain_wait", obs::trace::Cat::kPager);
+    obs::ScopedPhase ph(obs::Phase::kSpillWait);
     pager_wait([busy] { return !busy->io_busy.load(std::memory_order_acquire); });
   }
   // Wait outside tasks_mu_: wait() help-executes queued tasks, and an

@@ -1,0 +1,57 @@
+#include "obs/metrics.hpp"
+
+#include "obs/trace.hpp"
+
+namespace obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kForward:    return "forward";
+    case Phase::kBackward:   return "backward";
+    case Phase::kEncode:     return "encode";
+    case Phase::kDecode:     return "decode";
+    case Phase::kSpillWrite: return "spill_write";
+    case Phase::kSpillRead:  return "spill_read";
+    case Phase::kSpillWait:  return "spill_wait";
+    case Phase::kNumPhases:  break;
+  }
+  return "?";
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* r = new MetricsRegistry;  // leaked: process lifetime
+  return *r;
+}
+
+PhaseSnapshot MetricsRegistry::snapshot() const {
+  PhaseSnapshot s;
+  for (int i = 0; i < kNumPhases; ++i) {
+    s[i].ns = ns_[i].load(std::memory_order_relaxed);
+    s[i].count = count_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+PhaseSnapshot MetricsRegistry::drain() {
+  PhaseSnapshot s;
+  for (int i = 0; i < kNumPhases; ++i) {
+    s[i].ns = ns_[i].exchange(0, std::memory_order_relaxed);
+    s[i].count = count_[i].exchange(0, std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  for (int i = 0; i < kNumPhases; ++i) {
+    ns_[i].store(0, std::memory_order_relaxed);
+    count_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedPhase::ScopedPhase(Phase p) : p_(p), t0_(trace::detail::now_ns()) {}
+
+ScopedPhase::~ScopedPhase() {
+  MetricsRegistry::instance().add(p_, trace::detail::now_ns() - t0_);
+}
+
+}  // namespace obs

@@ -1,0 +1,90 @@
+#pragma once
+// Consolidated runtime metrics: one process-wide registry of per-phase
+// timing accumulators, plus the glue that assembles the pre-existing
+// counter islands (PagerCounters, TierAccounting, sched::steal_stats,
+// executor dispatch stats) into a single named snapshot — exposed as
+// `TrainingSession::metrics()` and emitted by the benches into their
+// BENCH_*.json rows (schema in docs/BENCH_SCHEMA.md).
+//
+// The hot-path cost of a phase sample is two relaxed fetch_adds; phase
+// accumulation is always on (it piggybacks on clock reads the pager's
+// cost-model calibration already performs). `drain()` supports
+// per-iteration sampling: perf_smoke uses it to measure per-phase variance
+// across iterations. Like every obs:: facility, metrics are
+// observation-only — they never feed back into scheduling or eviction, so
+// the bitwise-determinism contract is untouched.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace obs {
+
+// Phases of one training iteration that are worth attributing wall-clock
+// to. kForward/kBackward bracket the session's passes; the rest accumulate
+// from the pager/codec sites (concurrent with compute when async paths or
+// the graph executor overlap them — sums can legitimately exceed step time).
+enum class Phase : int {
+  kForward = 0,   // session forward pass (executor or sequential)
+  kBackward,      // session prepare_backward + backward pass
+  kEncode,        // codec encode (sync put + async encode tasks)
+  kDecode,        // codec decode (fetch, prefetch, replay re-decode)
+  kSpillWrite,    // spill-file write (sync and write-behind)
+  kSpillRead,     // spill-file read
+  kSpillWait,     // blocked waiting on spill/encode I/O (budget enforce, drain)
+  kNumPhases,
+};
+
+constexpr int kNumPhases = static_cast<int>(Phase::kNumPhases);
+
+const char* phase_name(Phase p);  // "forward", "backward", ...
+
+struct PhaseSample {
+  std::uint64_t ns = 0;     // accumulated wall-clock
+  std::uint64_t count = 0;  // number of samples
+};
+
+using PhaseSnapshot = std::array<PhaseSample, kNumPhases>;
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Hot path: record one completed phase interval.
+  void add(Phase p, std::uint64_t ns) {
+    const int i = static_cast<int>(p);
+    ns_[i].fetch_add(ns, std::memory_order_relaxed);
+    count_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Non-destructive read of every phase accumulator.
+  PhaseSnapshot snapshot() const;
+
+  // Atomically read-and-zero every accumulator (per-bucket exchange, same
+  // convention as sched::drain_steal_stats) — per-iteration sampling.
+  PhaseSnapshot drain();
+
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  std::atomic<std::uint64_t> ns_[kNumPhases] = {};
+  std::atomic<std::uint64_t> count_[kNumPhases] = {};
+};
+
+// RAII phase timer: adds [construction, destruction) to the registry.
+// Unconditional (metrics are always on) — the cost is one steady_clock
+// read at each end plus two relaxed adds.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(Phase p);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  Phase p_;
+  std::uint64_t t0_;
+};
+
+}  // namespace obs

@@ -1,5 +1,7 @@
 #include "tensor/sched.hpp"
 
+#include "obs/trace.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -283,7 +285,19 @@ struct IdleEpisode {
     // First-attempt steals never armed the clock: count them as latency 0
     // (bucket 0) so the histogram's total matches the steal count without
     // a clock read on the hot path.
-    record_steal_latency(since != 0 ? now_ns() - since : 0);
+    if (since != 0) {
+      const std::uint64_t waited = now_ns() - since;
+      record_steal_latency(waited);
+      if (obs::trace::enabled()) {
+        // Translate the already-measured wait onto the trace clock with a
+        // single extra read: [t1 - waited, t1) on the trace's origin.
+        const std::uint64_t t1 = obs::trace::detail::now_ns();
+        obs::trace::emit_span("sched.steal_wait", obs::trace::Cat::kSched,
+                              t1 >= waited ? t1 - waited : 0, t1);
+      }
+    } else {
+      record_steal_latency(0);
+    }
     since = 0;
   }
 };
@@ -322,7 +336,10 @@ void execute(const Task& t, Slot* slot) noexcept {
       e = mid;
     }
   }
-  s->body(s->ctx, b, e);
+  {
+    obs::trace::Span span("sched.task", obs::trace::Cat::kSched);
+    s->body(s->ctx, b, e);
+  }
   s->remaining.fetch_sub(e - b, std::memory_order_release);
 }
 

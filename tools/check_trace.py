@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file written by the obs tracing layer.
+
+Usage: tools/check_trace.py <trace.json>
+
+Checks (stdlib only, run by the perf-smoke CI job on the uploaded trace):
+
+ 1. The file parses as JSON and has the Chrome trace-event shape:
+    a top-level object with a "traceEvents" list.
+ 2. Every "ph":"X" (complete) event carries name, cat, pid, tid, ts, dur
+    with sane types and non-negative times.
+ 3. pid is constant across all events (one process) and every tid is an
+    integer.
+ 4. Metadata ("ph":"M") names each thread at most once per tid.
+ 5. Per tid, complete events nest properly: sorted by start time, a span
+    must either contain or be disjoint from every other span on its
+    thread. A 1 µs tolerance absorbs translated spans (emitters that
+    measured a duration on another clock and back-dated the start).
+ 6. At least one span from >= 2 distinct categories when the trace was
+    produced by a training run (--min-cats N, default 0, opts in).
+
+Exit code 0 = valid, 1 = any violation (each printed with context).
+"""
+
+import argparse
+import json
+import sys
+
+NEST_TOLERANCE_US = 1.0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="path to the Chrome trace JSON")
+    ap.add_argument("--min-cats", type=int, default=0,
+                    help="require spans from at least this many categories")
+    args = ap.parse_args()
+
+    errors = []
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace FAIL: cannot parse {args.trace}: {e}")
+        return 1
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        print("check_trace FAIL: top level is not {\"traceEvents\": [...]}")
+        return 1
+    events = doc["traceEvents"]
+
+    pids = set()
+    thread_names = {}
+    spans_by_tid = {}
+    cats = set()
+    n_complete = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event[{i}] is not an object")
+            continue
+        ph = ev.get("ph")
+        if "pid" in ev:
+            pids.add(ev["pid"])
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                tid = ev.get("tid")
+                if not isinstance(tid, int):
+                    errors.append(f"event[{i}] thread_name metadata has non-int tid {tid!r}")
+                elif tid in thread_names:
+                    errors.append(f"event[{i}] names tid {tid} twice")
+                else:
+                    thread_names[tid] = ev.get("args", {}).get("name", "")
+            continue
+        if ph != "X":
+            errors.append(f"event[{i}] has unexpected ph {ph!r} (only X/M are emitted)")
+            continue
+        n_complete += 1
+        for field, typ in (("name", str), ("cat", str), ("pid", int), ("tid", int)):
+            if not isinstance(ev.get(field), typ):
+                errors.append(f"event[{i}] {field} missing or not {typ.__name__}: {ev.get(field)!r}")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                errors.append(f"event[{i}] {field} missing/negative: {v!r}")
+        if isinstance(ev.get("cat"), str):
+            cats.add(ev["cat"])
+        tid = ev.get("tid")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if isinstance(tid, int) and isinstance(ts, (int, float)) and isinstance(dur, (int, float)):
+            spans_by_tid.setdefault(tid, []).append((float(ts), float(ts) + float(dur), ev.get("name", "?"), i))
+
+    if len(pids) > 1:
+        errors.append(f"more than one pid in a single-process trace: {sorted(pids)}")
+    if n_complete == 0:
+        errors.append("no complete (ph:X) events at all")
+
+    # Per-thread nesting: walk spans sorted by (start, -end); maintain a
+    # stack of open spans. Each new span must start after (stack top start)
+    # and end before (stack top end), within tolerance, or begin after the
+    # top closed.
+    for tid, spans in spans_by_tid.items():
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack = []
+        for start, end, name, idx in spans:
+            while stack and start >= stack[-1][1] - NEST_TOLERANCE_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + NEST_TOLERANCE_US:
+                outer = stack[-1]
+                errors.append(
+                    f"tid {tid}: span '{name}' [{start:.3f},{end:.3f}] (event[{idx}]) "
+                    f"overlaps but does not nest in '{outer[2]}' [{outer[0]:.3f},{outer[1]:.3f}]")
+                continue
+            stack.append((start, end, name))
+
+    if args.min_cats and len(cats) < args.min_cats:
+        errors.append(f"only {len(cats)} categories {sorted(cats)}, need >= {args.min_cats}")
+
+    if errors:
+        for e in errors[:50]:
+            print(f"check_trace FAIL: {e}")
+        if len(errors) > 50:
+            print(f"check_trace: ... and {len(errors) - 50} more")
+        return 1
+
+    threads = len(spans_by_tid)
+    print(f"check_trace OK: {n_complete} spans, {threads} thread(s), "
+          f"categories {sorted(cats)}, {len(thread_names)} named thread(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
