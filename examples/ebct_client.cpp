@@ -1,0 +1,65 @@
+// ebct_client — minimal client for the ebct_serve daemon (the library face
+// is src/serve/client.hpp; ebct_compress_cli --server=<sock> wraps the same
+// library with file handling).
+//
+// Usage:
+//   ebct_client encode <socket> <spec> [tenant]   (float32 stdin -> EBCS stdout)
+//   ebct_client decode <socket> [tenant]          (EBCS stdin -> float32 stdout)
+//
+// Exit status: 0 on success; 4 on a server-reported 4xx (bad spec,
+// malformed stream, over-budget reject), 1 on transport errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ebct::serve;
+  const auto usage = [argv]() {
+    std::fprintf(stderr,
+                 "usage:\n  %s encode <socket> <spec> [tenant]\n"
+                 "  %s decode <socket> [tenant]\n",
+                 argv[0], argv[0]);
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string mode = argv[1];
+
+  PullReader reader = [](std::uint8_t* buf, std::size_t cap) {
+    return std::fread(buf, 1, cap, stdin);
+  };
+  PushWriter writer = [](const std::uint8_t* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, stdout) != n) {
+      std::fprintf(stderr, "ebct_client: stdout write failed\n");
+      std::exit(1);
+    }
+  };
+
+  try {
+    Client client(argv[2]);
+    TransferStats stats;
+    if (mode == "encode") {
+      if (argc < 4) return usage();
+      const std::string tenant = argc > 4 ? argv[4] : "cli";
+      stats = client.encode(tenant, argv[3], 0, reader, writer);
+    } else if (mode == "decode") {
+      const std::string tenant = argc > 3 ? argv[3] : "cli";
+      stats = client.decode(tenant, reader, writer);
+    } else {
+      return usage();
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "%llu bytes in, %llu bytes out\n",
+                 static_cast<unsigned long long>(stats.bytes_in),
+                 static_cast<unsigned long long>(stats.bytes_out));
+    return 0;
+  } catch (const ServerError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ebct_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,19 +1,24 @@
-// Command-line compressor for raw float32 files — the standalone face of
+// Command-line compressor for raw float32 data — the standalone face of
 // the compression engines, usable on any binary dump of floats (activation
 // snapshots, simulation output, ...).
 //
 // Usage:
+//   ebct_compress_cli c <in.f32|-> <out.ebcs|-> --codec=<name[:params]>
+//   ebct_compress_cli d <in.ebcs|-> <out.f32|->
 //   ebct_compress_cli c <in.f32> <out.ebct> [abs_error_bound] [zero_mode]
-//   ebct_compress_cli c <in.f32> <out.ebct> --codec=<name[:params]>
-//   ebct_compress_cli d <in.ebct> <out.f32>
-//   ebct_compress_cli --help          (lists the registered codecs)
-// zero_mode in {none, rezero, rle}; default rezero (the paper's filter).
+//   ebct_compress_cli c|d ... --server=<socket> [--tenant=<name>]
+//   ebct_compress_cli --help
 //
-// Without --codec the output is the raw self-describing SZ stream
-// (byte-compatible with earlier releases). With --codec the bytes of any
-// registry codec are wrapped in a small container that records the spec,
-// so `d` can rebuild the identical codec — JPEG-ACT, for instance, needs
-// its quality to dequantize.
+// "-" means stdin/stdout. With --codec (or any stdio endpoint) the CLI
+// streams through the chunked EBCS container (src/nn/streaming.hpp) in
+// constant memory: input is read, encoded window by window, and written
+// without ever buffering the whole payload. --server routes the same
+// stream through a running ebct_serve daemon instead of encoding locally.
+//
+// The positional [eb] [zero_mode] form keeps the historical behaviour: a
+// raw self-describing SZ stream, byte-compatible with earlier releases
+// (whole-buffer; file paths only). `d` sniffs all three input formats
+// (EBCS stream, legacy EBCC container, raw SZ stream).
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +27,8 @@
 #include <vector>
 
 #include "core/codec_registry.hpp"
+#include "nn/streaming.hpp"
+#include "serve/client.hpp"
 #include "sz/compressor.hpp"
 #include "tensor/tensor.hpp"
 
@@ -29,43 +36,71 @@ using namespace ebct;
 
 namespace {
 
-// Container layout: "EBCC" | u32 spec length | spec bytes | u64 numel |
-// codec payload. Legacy SZ streams never start with "EBCC".
-constexpr char kMagic[4] = {'E', 'B', 'C', 'C'};
+// Legacy container layout: "EBCC" | u32 spec length | spec bytes |
+// u64 numel | codec payload. Still decoded; no longer produced.
+constexpr char kLegacyMagic[4] = {'E', 'B', 'C', 'C'};
 
-std::vector<std::uint8_t> read_file(const char* path) {
+// Bytes pulled per read in the streaming paths — with the codec window this
+// bounds resident memory (see --help text).
+constexpr std::size_t kIoChunk = 256 * 1024;
+
+std::FILE* open_input(const char* path) {
+  if (std::strcmp(path, "-") == 0) return stdin;
   std::FILE* f = std::fopen(path, "rb");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (std::fread(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
-    std::fprintf(stderr, "short read on %s\n", path);
-    std::exit(1);
-  }
-  std::fclose(f);
-  return bytes;
+  return f;
 }
 
-void write_file(const char* path, const void* data, std::size_t size) {
+std::FILE* open_output(const char* path) {
+  if (std::strcmp(path, "-") == 0) return stdout;
   std::FILE* f = std::fopen(path, "wb");
-  if (f == nullptr || std::fwrite(data, 1, size, f) != size) {
+  if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     std::exit(1);
   }
-  std::fclose(f);
+  return f;
+}
+
+void close_file(std::FILE* f) {
+  if (f != stdin && f != stdout) {
+    std::fclose(f);
+  } else {
+    std::fflush(f);
+  }
+}
+
+std::vector<std::uint8_t> slurp(std::FILE* f) {
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[kIoChunk];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  return bytes;
+}
+
+void write_out(std::FILE* f, const void* data, std::size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    std::fprintf(stderr, "write failed\n");
+    std::exit(1);
+  }
 }
 
 void print_usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage:\n  %s c <in.f32> <out.ebct> [eb=1e-3] [none|rezero|rle]\n"
-               "  %s c <in.f32> <out.ebct> --codec=<name[:params]>\n"
-               "  %s d <in.ebct> <out.f32>\n\nregistered codecs:\n",
-               argv0, argv0, argv0);
+  const std::size_t window = nn::kDefaultWindowElems;
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s c <in.f32|-> <out.ebcs|-> --codec=<name[:params]> [--window=<elems>]\n"
+      "  %s d <in.ebcs|-> <out.f32|->\n"
+      "  %s c <in.f32> <out.ebct> [eb=1e-3] [none|rezero|rle]   (legacy raw SZ stream)\n"
+      "  %s c|d ... --server=<socket> [--tenant=<name>]          (route via ebct_serve)\n"
+      "\n'-' streams stdin/stdout. Streaming paths run in constant memory:\n"
+      "resident bytes are bounded by ~3x the codec window (%zu floats = %zu KiB\n"
+      "raw by default, tune with --window) plus one %zu KiB I/O chunk,\n"
+      "independent of payload size.\n\nregistered codecs:\n",
+      argv0, argv0, argv0, argv0, window, window * sizeof(float) / 1024, kIoChunk / 1024);
   for (const auto& info : core::CodecRegistry::instance().list()) {
     std::fprintf(stderr, "  %-10s %s%s%s\n", info.name.c_str(), info.summary.c_str(),
                  info.params_help.empty() ? "" : "  params: ",
@@ -91,8 +126,19 @@ int main(int argc, char** argv) {
 
 namespace {
 
+serve::PullReader file_reader(std::FILE* in) {
+  return [in](std::uint8_t* buf, std::size_t cap) { return std::fread(buf, 1, cap, in); };
+}
+
+serve::PushWriter file_writer(std::FILE* out) {
+  return [out](const std::uint8_t* data, std::size_t n) { write_out(out, data, n); };
+}
+
 int run(int argc, char** argv) {
   std::string codec_spec;
+  std::string server_sock;
+  std::string tenant = "cli";
+  std::size_t window = 0;  // 0 = codec default
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -101,6 +147,12 @@ int run(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--codec=", 8) == 0) {
       codec_spec = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--server=", 9) == 0) {
+      server_sock = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--tenant=", 9) == 0) {
+      tenant = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      window = static_cast<std::size_t>(std::strtoull(argv[i] + 9, nullptr, 10));
     } else {
       args.push_back(argv[i]);
     }
@@ -110,39 +162,61 @@ int run(int argc, char** argv) {
     return 2;
   }
   const std::string mode = args[0];
+  const bool stdio = std::strcmp(args[1], "-") == 0 || std::strcmp(args[2], "-") == 0;
+
+  // Registry codecs seed this CLI's historical eb=1e-3 default (the
+  // library's FrameworkConfig would seed 1e-4), so `--codec=sz` and the
+  // positional form compress identically.
+  core::FrameworkConfig fw;
+  fw.bootstrap_error_bound = 1e-3;
+
   if (mode == "c") {
-    const auto raw = read_file(args[1]);
+    std::FILE* in = open_input(args[1]);
+    std::FILE* out = open_output(args[2]);
+    if (!server_sock.empty()) {
+      // Remote: the daemon encodes; spec defaults as locally.
+      if (codec_spec.empty()) codec_spec = "sz:eb=1e-3";
+      serve::Client client(server_sock);
+      const auto stats =
+          client.encode(tenant, codec_spec, window, file_reader(in), file_writer(out));
+      close_file(out);
+      close_file(in);
+      std::fprintf(stderr, "%llu bytes -> %llu bytes via %s @ %s\n",
+                   static_cast<unsigned long long>(stats.bytes_in),
+                   static_cast<unsigned long long>(stats.bytes_out), codec_spec.c_str(),
+                   server_sock.c_str());
+      return 0;
+    }
+    if (!codec_spec.empty() || stdio) {
+      // Local streaming: constant-memory chunked encode to EBCS.
+      if (codec_spec.empty()) codec_spec = "sz:eb=1e-3";
+      auto codec = core::CodecRegistry::instance().create(codec_spec, fw);
+      nn::StreamingEncoder enc(codec, codec_spec, window, file_writer(out));
+      std::vector<std::uint8_t> buf(kIoChunk);
+      std::size_t n;
+      while ((n = std::fread(buf.data(), 1, buf.size(), in)) > 0) enc.feed_bytes(buf.data(), n);
+      enc.finish();
+      close_file(out);
+      close_file(in);
+      std::fprintf(stderr, "%llu floats -> %llu bytes (%.2fx) via %s (streamed)\n",
+                   static_cast<unsigned long long>(enc.floats_in()),
+                   static_cast<unsigned long long>(enc.bytes_out()),
+                   enc.floats_in() == 0
+                       ? 0.0
+                       : static_cast<double>(enc.floats_in() * sizeof(float)) /
+                             static_cast<double>(enc.bytes_out()),
+                   codec->name().c_str());
+      return 0;
+    }
+    // Legacy raw SZ stream (whole-buffer, byte-compatible with earlier
+    // releases).
+    const auto raw = slurp(in);
+    close_file(in);
     if (raw.size() % sizeof(float) != 0) {
       std::fprintf(stderr, "%s is not a whole number of float32s\n", args[1]);
       return 1;
     }
     const std::size_t n = raw.size() / sizeof(float);
-    if (!codec_spec.empty()) {
-      // Registry path: any codec, wrapped in the spec-carrying container.
-      // Unset sz parameters default to this CLI's historical eb=1e-3 (the
-      // library's FrameworkConfig would seed 1e-4), so `--codec=sz` and the
-      // positional form compress identically.
-      core::FrameworkConfig fw;
-      fw.bootstrap_error_bound = 1e-3;
-      auto codec = core::CodecRegistry::instance().create(codec_spec, fw);
-      tensor::Tensor t(tensor::Shape::nchw(1, 1, 1, n));
-      std::memcpy(t.data(), raw.data(), raw.size());
-      const auto enc = codec->encode("cli", t);
-      std::vector<std::uint8_t> out;
-      out.insert(out.end(), kMagic, kMagic + 4);
-      const std::uint32_t spec_len = static_cast<std::uint32_t>(codec_spec.size());
-      const std::uint64_t numel = n;
-      out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&spec_len),
-                 reinterpret_cast<const std::uint8_t*>(&spec_len) + 4);
-      out.insert(out.end(), codec_spec.begin(), codec_spec.end());
-      out.insert(out.end(), reinterpret_cast<const std::uint8_t*>(&numel),
-                 reinterpret_cast<const std::uint8_t*>(&numel) + 8);
-      out.insert(out.end(), enc.bytes.begin(), enc.bytes.end());
-      write_file(args[2], out.data(), out.size());
-      std::printf("%zu floats -> %zu bytes (%.2fx) via %s\n", n, out.size(),
-                  static_cast<double>(raw.size()) / out.size(), codec->name().c_str());
-      return 0;
-    }
     sz::Config cfg;
     cfg.error_bound = args.size() > 3 ? std::atof(args[3]) : 1e-3;
     if (args.size() > 4) {
@@ -154,44 +228,94 @@ int run(int argc, char** argv) {
     sz::Compressor comp(cfg);
     std::span<const float> data{reinterpret_cast<const float*>(raw.data()), n};
     const auto buf = comp.compress(data);
-    write_file(args[2], buf.bytes.data(), buf.bytes.size());
+    write_out(out, buf.bytes.data(), buf.bytes.size());
+    close_file(out);
     std::printf("%zu floats -> %zu bytes (%.2fx), abs eb %.3e\n", data.size(),
                 buf.bytes.size(), buf.compression_ratio(), buf.abs_error_bound);
-  } else if (mode == "d") {
-    const auto bytes = read_file(args[1]);
-    if (bytes.size() >= 16 && std::memcmp(bytes.data(), kMagic, 4) == 0) {
-      // Container: rebuild the codec the file names and decode through it.
-      std::uint32_t spec_len = 0;
-      std::memcpy(&spec_len, bytes.data() + 4, 4);
-      if (bytes.size() < 16 + static_cast<std::size_t>(spec_len)) {
-        std::fprintf(stderr, "truncated container %s\n", args[1]);
-        return 1;
-      }
-      const std::string spec(reinterpret_cast<const char*>(bytes.data()) + 8, spec_len);
-      std::uint64_t numel = 0;
-      std::memcpy(&numel, bytes.data() + 8 + spec_len, 8);
-      nn::EncodedActivation enc;
-      enc.layer = "cli";
-      enc.shape = tensor::Shape::nchw(1, 1, 1, static_cast<std::size_t>(numel));
-      enc.bytes.assign(bytes.begin() + 16 + spec_len, bytes.end());
-      auto codec = core::CodecRegistry::instance().create(spec);
-      const tensor::Tensor out = codec->decode(enc);
-      write_file(args[2], out.data(), out.numel() * sizeof(float));
-      std::printf("restored %zu floats via %s\n", out.numel(), codec->name().c_str());
-      return 0;
-    }
-    sz::CompressedBuffer buf;
-    buf.bytes = bytes;
-    // num_elements lives in the self-describing header.
-    std::memcpy(&buf.num_elements, buf.bytes.data() + 4, sizeof(std::uint64_t));
-    sz::Compressor comp;
-    const auto out = comp.decompress(buf);
-    write_file(args[2], out.data(), out.size() * sizeof(float));
-    std::printf("restored %zu floats\n", out.size());
-  } else {
+    return 0;
+  }
+
+  if (mode != "d") {
     std::fprintf(stderr, "unknown mode %s\n", mode.c_str());
     return 2;
   }
+
+  std::FILE* in = open_input(args[1]);
+  std::FILE* out = open_output(args[2]);
+  if (!server_sock.empty()) {
+    serve::Client client(server_sock);
+    const auto stats = client.decode(tenant, file_reader(in), file_writer(out));
+    close_file(out);
+    close_file(in);
+    std::fprintf(stderr, "%llu bytes -> %llu bytes via %s\n",
+                 static_cast<unsigned long long>(stats.bytes_in),
+                 static_cast<unsigned long long>(stats.bytes_out), server_sock.c_str());
+    return 0;
+  }
+
+  // Sniff the format from the first 4 bytes.
+  std::uint8_t head[4];
+  const std::size_t head_n = std::fread(head, 1, 4, in);
+  if (head_n == 4 && std::memcmp(head, "EBCS", 4) == 0) {
+    // Chunked stream: constant-memory decode.
+    nn::StreamingDecoder dec(
+        [&fw](const std::string& spec) {
+          return core::CodecRegistry::instance().create(spec, fw);
+        },
+        [out](const float* data, std::size_t n) { write_out(out, data, n * sizeof(float)); });
+    dec.feed(head, 4);
+    std::vector<std::uint8_t> buf(kIoChunk);
+    std::size_t n;
+    while ((n = std::fread(buf.data(), 1, buf.size(), in)) > 0) dec.feed(buf.data(), n);
+    dec.finish();
+    close_file(out);
+    close_file(in);
+    std::fprintf(stderr, "restored %llu floats via %s (streamed)\n",
+                 static_cast<unsigned long long>(dec.floats_out()), dec.spec().c_str());
+    return 0;
+  }
+
+  // Whole-buffer formats: legacy EBCC container or raw SZ stream.
+  std::vector<std::uint8_t> bytes(head, head + head_n);
+  {
+    const auto rest = slurp(in);
+    bytes.insert(bytes.end(), rest.begin(), rest.end());
+  }
+  close_file(in);
+  if (bytes.size() >= 16 && std::memcmp(bytes.data(), kLegacyMagic, 4) == 0) {
+    std::uint32_t spec_len = 0;
+    std::memcpy(&spec_len, bytes.data() + 4, 4);
+    if (bytes.size() < 16 + static_cast<std::size_t>(spec_len)) {
+      std::fprintf(stderr, "truncated container %s\n", args[1]);
+      return 1;
+    }
+    const std::string spec(reinterpret_cast<const char*>(bytes.data()) + 8, spec_len);
+    std::uint64_t numel = 0;
+    std::memcpy(&numel, bytes.data() + 8 + spec_len, 8);
+    nn::EncodedActivation enc;
+    enc.layer = "cli";
+    enc.shape = tensor::Shape::nchw(1, 1, 1, static_cast<std::size_t>(numel));
+    enc.bytes.assign(bytes.begin() + 16 + spec_len, bytes.end());
+    auto codec = core::CodecRegistry::instance().create(spec);
+    const tensor::Tensor dec = codec->decode(enc);
+    write_out(out, dec.data(), dec.numel() * sizeof(float));
+    close_file(out);
+    std::fprintf(stderr, "restored %zu floats via %s\n", dec.numel(), codec->name().c_str());
+    return 0;
+  }
+  sz::CompressedBuffer buf;
+  buf.bytes = std::move(bytes);
+  if (buf.bytes.size() < 12) {
+    std::fprintf(stderr, "input too short to be an SZ stream\n");
+    return 1;
+  }
+  // num_elements lives in the self-describing header.
+  std::memcpy(&buf.num_elements, buf.bytes.data() + 4, sizeof(std::uint64_t));
+  sz::Compressor comp;
+  const auto dec = comp.decompress(buf);
+  write_out(out, dec.data(), dec.size() * sizeof(float));
+  close_file(out);
+  std::fprintf(stderr, "restored %zu floats\n", dec.size());
   return 0;
 }
 

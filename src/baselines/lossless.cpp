@@ -1,8 +1,10 @@
 #include "baselines/lossless.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "core/codec_registry.hpp"
+#include "nn/streaming.hpp"
 #include "sz/bitstream.hpp"
 #include "sz/huffman.hpp"
 
@@ -11,17 +13,12 @@ namespace ebct::baselines {
 using nn::EncodedActivation;
 using tensor::Tensor;
 
-EncodedActivation LosslessCodec::encode(const std::string& layer, const Tensor& act) {
-  EncodedActivation enc;
-  enc.layer = layer;
-  enc.shape = act.shape();
-
+void LosslessCodec::encode_span(std::span<const float> data, std::vector<std::uint8_t>& out) {
   // Stream 1: alternating zero-run / nonzero-run lengths.
   sz::BitWriter rle;
   std::vector<float> packed;
-  packed.reserve(act.numel());
+  packed.reserve(data.size());
   std::size_t i = 0;
-  const auto data = act.span();
   while (i < data.size()) {
     std::size_t z = i;
     while (z < data.size() && data[z] == 0.0f) ++z;
@@ -58,42 +55,43 @@ EncodedActivation LosslessCodec::encode(const std::string& layer, const Tensor& 
 
   // Layout: u64 numel, u64 packed_count, u64 rle_size, 8x u64 plane sizes,
   // rle bytes, plane payload.
-  auto put_u64 = [&enc](std::uint64_t v) {
+  auto put_u64 = [&out](std::uint64_t v) {
     const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    enc.bytes.insert(enc.bytes.end(), p, p + 8);
+    out.insert(out.end(), p, p + 8);
   };
-  put_u64(act.numel());
+  put_u64(data.size());
   put_u64(packed.size());
   put_u64(rle_bytes.size());
   for (auto s : plane_sizes) put_u64(s);
-  enc.bytes.insert(enc.bytes.end(), rle_bytes.begin(), rle_bytes.end());
-  enc.bytes.insert(enc.bytes.end(), plane_payload.begin(), plane_payload.end());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_ratio_[layer] =
-        static_cast<double>(act.bytes()) / static_cast<double>(enc.bytes.size());
-  }
-  return enc;
+  out.insert(out.end(), rle_bytes.begin(), rle_bytes.end());
+  out.insert(out.end(), plane_payload.begin(), plane_payload.end());
 }
 
-std::map<std::string, double> LosslessCodec::last_ratios() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return last_ratio_;
-}
-
-Tensor LosslessCodec::decode(const EncodedActivation& enc) {
-  const std::uint8_t* p = enc.bytes.data();
+void LosslessCodec::decode_span(const std::uint8_t* payload, std::size_t payload_len,
+                                std::size_t numel, std::vector<float>& out) {
+  constexpr std::size_t kHeaderBytes = 8 * 11;  // numel, packed, rle_size, 8 plane sizes
+  if (payload_len < kHeaderBytes)
+    throw std::runtime_error("lossless decode: payload shorter than header");
+  const std::uint8_t* p = payload;
   auto get_u64 = [&p]() {
     std::uint64_t v;
     std::memcpy(&v, p, 8);
     p += 8;
     return v;
   };
-  const std::uint64_t numel = get_u64();
+  const std::uint64_t declared_numel = get_u64();
   const std::uint64_t packed_count = get_u64();
   const std::uint64_t rle_size = get_u64();
   std::uint64_t plane_sizes[8];
   for (auto& s : plane_sizes) s = get_u64();
+  if (declared_numel != numel)
+    throw std::runtime_error("lossless decode: header declares " +
+                             std::to_string(declared_numel) + " elems, expected " +
+                             std::to_string(numel));
+  std::uint64_t total = kHeaderBytes + rle_size;
+  for (auto s : plane_sizes) total += s;
+  if (total > payload_len)
+    throw std::runtime_error("lossless decode: payload truncated");
 
   std::span<const std::uint8_t> rle_bytes{p, static_cast<std::size_t>(rle_size)};
   p += rle_size;
@@ -119,7 +117,7 @@ Tensor LosslessCodec::decode(const EncodedActivation& enc) {
     std::memcpy(&packed[k], &bits, 4);
   }
 
-  Tensor out(enc.shape);
+  out.assign(numel, 0.0f);
   sz::BitReader r(rle_bytes);
   std::size_t oi = 0, pi = 0;
   while (oi < numel) {
@@ -127,9 +125,67 @@ Tensor LosslessCodec::decode(const EncodedActivation& enc) {
     for (std::uint64_t k = 0; k < zrun && oi < numel; ++k) out[oi++] = 0.0f;
     if (oi >= numel) break;
     const std::uint64_t nzrun = r.get_varint();
-    for (std::uint64_t k = 0; k < nzrun && oi < numel; ++k) out[oi++] = packed[pi++];
+    for (std::uint64_t k = 0; k < nzrun && oi < numel; ++k) {
+      if (pi >= packed.size())
+        throw std::runtime_error("lossless decode: nonzero runs exceed packed count");
+      out[oi++] = packed[pi++];
+    }
   }
+}
+
+EncodedActivation LosslessCodec::encode(const std::string& layer, const Tensor& act) {
+  EncodedActivation enc;
+  enc.layer = layer;
+  enc.shape = act.shape();
+  encode_span(act.span(), enc.bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_ratio_[layer] =
+        static_cast<double>(act.bytes()) / static_cast<double>(enc.bytes.size());
+  }
+  return enc;
+}
+
+std::map<std::string, double> LosslessCodec::last_ratios() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ratio_;
+}
+
+Tensor LosslessCodec::decode(const EncodedActivation& enc) {
+  std::vector<float> vals;
+  decode_span(enc.bytes.data(), enc.bytes.size(), enc.shape.numel(), vals);
+  Tensor out(enc.shape);
+  std::memcpy(out.data(), vals.data(), vals.size() * sizeof(float));
   return out;
+}
+
+namespace {
+
+class LosslessWindowEncoder final : public nn::WindowEncoder {
+ public:
+  void encode_window(const float* data, std::size_t n,
+                     std::vector<std::uint8_t>& out) override {
+    out.clear();
+    LosslessCodec::encode_span({data, n}, out);
+  }
+};
+
+class LosslessWindowDecoder final : public nn::WindowDecoder {
+ public:
+  void decode_window(const std::uint8_t* payload, std::size_t payload_len,
+                     std::size_t numel, std::vector<float>& out) override {
+    LosslessCodec::decode_span(payload, payload_len, numel, out);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<nn::WindowEncoder> LosslessCodec::make_window_encoder() {
+  return std::make_unique<LosslessWindowEncoder>();
+}
+
+std::unique_ptr<nn::WindowDecoder> LosslessCodec::make_window_decoder() {
+  return std::make_unique<LosslessWindowDecoder>();
 }
 
 }  // namespace ebct::baselines

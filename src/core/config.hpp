@@ -111,9 +111,12 @@ struct FrameworkConfig {
   /// the budget accounting counts not-yet-written blobs as still resident
   /// and a bounded window (PagerConfig::write_window) caps the in-flight
   /// bytes, so the budget is never exceeded. Eviction choice and counters
-  /// are identical to the synchronous path. Env override:
+  /// are identical to the synchronous path. Default-on since the PR 10
+  /// soak (tests/test_pager.cpp WriteBehindSoak: many iterations at tight
+  /// budgets plus injected write failures, bitwise equal to synchronous
+  /// and leak-free); the env stays as the opt-out. Env override:
   /// EBCT_WRITE_BEHIND (strictly "0" or "1").
-  bool write_behind = false;
+  bool write_behind = true;
 
   /// Run the registered graph rewrite patterns (dead-branch elimination,
   /// conv+bias folding — graph/rewrite.hpp) over the IR before liveness is

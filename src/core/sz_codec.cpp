@@ -4,11 +4,59 @@
 #include <stdexcept>
 
 #include "core/codec_registry.hpp"
+#include "nn/streaming.hpp"
 
 namespace ebct::core {
 
 using nn::EncodedActivation;
 using tensor::Tensor;
+
+namespace {
+
+/// Streaming window products: the one-shot encode() derives plane_width
+/// from the innermost dimension, which for a streamed window of shape
+/// nchw(1,1,1,n) is n — so setting plane_width = n here reproduces the
+/// one-shot bytes exactly.
+class SzWindowEncoder final : public nn::WindowEncoder {
+ public:
+  explicit SzWindowEncoder(sz::Config cfg) : cfg_(cfg) {}
+
+  void encode_window(const float* data, std::size_t n,
+                     std::vector<std::uint8_t>& out) override {
+    sz::Config cfg = cfg_;
+    if (cfg.predictor == sz::Predictor::kLorenzo2D)
+      cfg.plane_width = static_cast<std::uint32_t>(n);
+    sz::Compressor comp(cfg);
+    sz::CompressedBuffer buf = comp.compress({data, n});
+    out = std::move(buf.bytes);
+  }
+
+ private:
+  sz::Config cfg_;
+};
+
+class SzWindowDecoder final : public nn::WindowDecoder {
+ public:
+  explicit SzWindowDecoder(sz::Config cfg) : cfg_(cfg) {}
+
+  void decode_window(const std::uint8_t* payload, std::size_t payload_len,
+                     std::size_t numel, std::vector<float>& out) override {
+    sz::CompressedBuffer buf;
+    buf.bytes.assign(payload, payload + payload_len);
+    buf.num_elements = numel;
+    sz::Config cfg = cfg_;
+    if (cfg.predictor == sz::Predictor::kLorenzo2D)
+      cfg.plane_width = static_cast<std::uint32_t>(numel);
+    sz::Compressor comp(cfg);
+    out.resize(numel);
+    comp.decompress(buf, {out.data(), numel});
+  }
+
+ private:
+  sz::Config cfg_;
+};
+
+}  // namespace
 
 SzActivationCodec::SzActivationCodec(sz::Config base_config) : base_(base_config) {}
 
@@ -61,6 +109,18 @@ Tensor SzActivationCodec::decode(const EncodedActivation& enc) {
   Tensor out(enc.shape);
   comp.decompress(buf, out.span());
   return out;
+}
+
+std::unique_ptr<nn::WindowEncoder> SzActivationCodec::make_window_encoder() {
+  sz::Config cfg = base_;
+  cfg.error_bound = layer_bound(nn::kStreamLayer);
+  return std::make_unique<SzWindowEncoder>(cfg);
+}
+
+std::unique_ptr<nn::WindowDecoder> SzActivationCodec::make_window_decoder() {
+  sz::Config cfg = base_;
+  cfg.error_bound = layer_bound(nn::kStreamLayer);
+  return std::make_unique<SzWindowDecoder>(cfg);
 }
 
 void detail::register_sz_codec(CodecRegistry& reg) {

@@ -51,6 +51,11 @@ class TierAccounting {
     return t;
   }
 
+  /// Instantiable for per-scope ledgers: the serving subsystem keeps one
+  /// TierAccounting per tenant so each tenant's resident bytes are charged
+  /// (and budget-checked) independently of the process-wide instance().
+  TierAccounting() = default;
+
   void add(Tier tier, std::size_t bytes) {
     const int i = static_cast<int>(tier);
     const std::size_t now = live_[i].fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -102,7 +107,6 @@ class TierAccounting {
   }
 
  private:
-  TierAccounting() = default;
   std::atomic<std::size_t> live_[kNumTiers] = {};
   std::atomic<std::size_t> peak_[kNumTiers] = {};
   std::atomic<std::size_t> spill_write_{0};

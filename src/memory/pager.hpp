@@ -100,7 +100,9 @@ struct PagerConfig {
   /// *actual* resident bytes fit the target, so the RAM peak never exceeds
   /// the budget. The win is up to `write_window` concurrent writes plus the
   /// evicting thread helping the pool run compute while it waits.
-  bool write_behind = false;
+  /// Default-on (soaked in tests/test_pager.cpp, including injected write
+  /// failures); FrameworkConfig / EBCT_WRITE_BEHIND=0 is the opt-out.
+  bool write_behind = true;
 
   /// Max in-flight write-behind spills before eviction waits for one.
   std::size_t write_window = 4;

@@ -17,6 +17,7 @@ namespace {
 
 std::atomic<std::uint64_t> g_open_files{0};
 std::atomic<std::uint64_t> g_next_serial{1};
+std::atomic<std::uint64_t> g_fail_writes{0};
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw std::runtime_error("SpillFile: " + what + ": " + std::strerror(errno));
@@ -49,6 +50,12 @@ SpillFile::~SpillFile() {
 }
 
 SpillExtent SpillFile::write(const void* data, std::size_t size) {
+  // Injected faults fire before any state changes, so a failed write leaves
+  // the extent map untouched — the same contract as a real ENOSPC pwrite.
+  for (auto n = g_fail_writes.load(std::memory_order_relaxed); n > 0;) {
+    if (g_fail_writes.compare_exchange_weak(n, n - 1, std::memory_order_relaxed))
+      throw std::runtime_error("SpillFile: pwrite: injected write fault");
+  }
   SpillExtent ext;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -138,6 +145,10 @@ std::size_t SpillFile::file_bytes() const {
 
 std::uint64_t SpillFile::files_open() {
   return g_open_files.load(std::memory_order_relaxed);
+}
+
+void SpillFile::fail_next_writes(std::uint64_t n) {
+  g_fail_writes.store(n, std::memory_order_relaxed);
 }
 
 }  // namespace ebct::memory

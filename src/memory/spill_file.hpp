@@ -61,6 +61,13 @@ class SpillFile {
   /// the spill-dir teardown check CI runs after every budget-sweep smoke.
   static std::uint64_t files_open();
 
+  /// Test-only fault injection: make the next `n` write() calls across all
+  /// SpillFile instances throw as if the disk were full, without touching
+  /// the file. The write-behind soak uses this to exercise the async
+  /// error path (charge rollback, spill_error_ rethrow) under load. Passing
+  /// 0 clears any pending faults.
+  static void fail_next_writes(std::uint64_t n);
+
  private:
   mutable std::mutex mu_;
   int fd_ = -1;

@@ -1,0 +1,222 @@
+#pragma once
+
+/// \file streaming.hpp
+/// Chunked streaming codec API: encode/decode a float payload of any size
+/// in bounded windows, so the full tensor never needs to be resident. This
+/// is the constant-memory seam the serving subsystem (src/serve/) and the
+/// stdin/stdout mode of ebct_compress_cli are built on — the push-style
+/// (SAX-like) idiom LJSON uses for parse-while-reading /
+/// print-while-writing, applied to the activation codecs.
+///
+/// Format ("EBCS" container, all integers little-endian):
+///
+///   "EBCS" | u8 version=1 | u8 reserved=0 | u16 spec_len | spec bytes |
+///   u32 window_elems |
+///   blocks: { u32 payload_len | u32 numel | payload } ...   (numel >= 1)
+///   terminator: u32 0 | u32 0 | u64 total_numel
+///
+/// Each block's payload is EXACTLY the bytes the underlying registry codec's
+/// one-shot encode() produces for that window's floats (shape
+/// nchw(1,1,1,numel), layer name "stream"). The window size is a property of
+/// the stream, fixed at encoder construction and recorded in the header —
+/// never of how the caller happens to feed bytes. Two consequences, which
+/// together extend the repo's determinism contract across the chunk
+/// boundary:
+///
+///  - Feed granularity is invisible: pushing the payload 1 KiB at a time,
+///    64 KiB at a time, or whole produces bitwise-identical container bytes.
+///  - Every window round-trips exactly as the one-shot codec path would:
+///    decoding a container yields the concatenation of
+///    codec->decode(codec->encode("stream", window_i)) for each window.
+///
+/// Memory: an encoder holds at most one window of staged floats plus one
+/// window's encoded bytes (and the codec's own scratch); a decoder holds at
+/// most one framed block plus its decoded floats. Both expose the cap.
+///
+/// Codecs may accelerate the per-window transform through the
+/// WindowEncoder/WindowDecoder capability hooks on ActivationCodec
+/// (activation_store.hpp): a native implementation skips the fallback's
+/// tensor copy and reuses compressor scratch across windows, but must
+/// produce byte-identical payloads to the one-shot encode()/decode() —
+/// tests/test_serve.cpp asserts this for every in-tree codec.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation_store.hpp"
+
+namespace ebct::nn {
+
+/// Destination for produced container/output bytes. Called zero or more
+/// times per feed(); the pointed-to range is only valid for the call.
+using ByteSink = std::function<void(const std::uint8_t*, std::size_t)>;
+
+/// Destination for decoded floats, same lifetime rules as ByteSink.
+using FloatSink = std::function<void(const float*, std::size_t)>;
+
+/// Capability product: encodes one window of floats to the codec's payload
+/// bytes. encode_window(data, n, out) must leave `out` holding exactly
+/// ActivationCodec::encode("stream", T) .bytes for a tensor T of shape
+/// nchw(1,1,1,n) containing data[0..n) — the streamed and one-shot paths
+/// stay bitwise interchangeable. Implementations may keep scratch across
+/// calls (that is the point of the hook); they are used from one thread.
+class WindowEncoder {
+ public:
+  virtual ~WindowEncoder() = default;
+  virtual void encode_window(const float* data, std::size_t n,
+                             std::vector<std::uint8_t>& out) = 0;
+};
+
+/// Capability product: decodes one window's payload bytes back to floats.
+/// Must reproduce ActivationCodec::decode() of the matching
+/// EncodedActivation bit-for-bit.
+class WindowDecoder {
+ public:
+  virtual ~WindowDecoder() = default;
+  virtual void decode_window(const std::uint8_t* payload, std::size_t payload_len,
+                             std::size_t numel, std::vector<float>& out) = 0;
+};
+
+/// Layer name every streamed window is encoded under. Constant so container
+/// bytes are a pure function of (spec, window_elems, payload).
+inline constexpr const char* kStreamLayer = "stream";
+
+/// Bounds on the per-stream window size (elements). The default, 64 Ki
+/// floats = 256 KiB raw per window, keeps resident memory small while
+/// amortising per-window codec setup.
+inline constexpr std::size_t kMinWindowElems = 256;
+inline constexpr std::size_t kMaxWindowElems = std::size_t{1} << 26;
+inline constexpr std::size_t kDefaultWindowElems = 64 * 1024;
+
+/// Push-style streaming encoder. Feed float data in any granularity;
+/// complete windows are encoded and framed into the ByteSink as they fill.
+/// finish() flushes the tail window (if any), the terminator and the
+/// element-count trailer. reset() rearms for a new payload, retaining
+/// buffer capacity — serve sessions reuse one encoder across requests.
+class StreamingEncoder {
+ public:
+  /// `spec` is recorded verbatim in the container header (a decoder
+  /// rebuilds the codec from it); `codec` must be the codec that spec
+  /// resolves to. window_elems is clamped to [kMinWindowElems,
+  /// kMaxWindowElems]; 0 selects kDefaultWindowElems.
+  StreamingEncoder(std::shared_ptr<ActivationCodec> codec, std::string spec,
+                   std::size_t window_elems, ByteSink sink);
+
+  /// Push n floats.
+  void feed(const float* data, std::size_t n);
+
+  /// Push raw bytes of float32 data; handles reads that split a float
+  /// (stdin pipes deliver arbitrary byte counts).
+  void feed_bytes(const std::uint8_t* bytes, std::size_t n);
+
+  /// Flush the tail window, terminator and trailer. Throws
+  /// std::invalid_argument if buffered bytes do not form whole floats.
+  void finish();
+
+  /// Rearm for a new payload through the same sink (capacity retained).
+  void reset();
+
+  /// Re-target the encoder at a different codec/spec/window/sink, keeping
+  /// the staging buffers' capacity — how pooled serve sessions reuse one
+  /// encoder across requests with different specs.
+  void rebind(std::shared_ptr<ActivationCodec> codec, std::string spec,
+              std::size_t window_elems, ByteSink sink);
+
+  std::size_t window_elems() const { return window_elems_; }
+  std::uint64_t floats_in() const { return floats_in_; }
+  std::uint64_t bytes_out() const { return bytes_out_; }
+
+  /// Upper bound on bytes this encoder keeps resident: one staged window
+  /// plus one encoded window (conservatively 2x raw, lossy codecs emit
+  /// less) plus the float-split remainder.
+  std::size_t resident_cap_bytes() const { return 3 * window_elems_ * sizeof(float) + 4; }
+
+ private:
+  void emit_header();
+  void flush_window();
+  void sink_bytes(const void* data, std::size_t n);
+
+  std::shared_ptr<ActivationCodec> codec_;
+  std::unique_ptr<WindowEncoder> window_encoder_;  ///< native or fallback
+  std::string spec_;
+  std::size_t window_elems_;
+  ByteSink sink_;
+  std::vector<float> window_;          ///< staged floats, < window_elems_
+  std::vector<std::uint8_t> encoded_;  ///< per-window payload scratch
+  std::uint8_t byte_carry_[4] = {0, 0, 0, 0};
+  std::size_t byte_carry_len_ = 0;
+  bool header_emitted_ = false;
+  bool finished_ = false;
+  std::uint64_t floats_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+};
+
+/// Builds the codec a container names. The serve layer passes the
+/// CodecRegistry; keeping it a callback keeps nn/ free of a dependency on
+/// core/ (which already depends on nn/).
+using CodecFactory =
+    std::function<std::shared_ptr<ActivationCodec>(const std::string& spec)>;
+
+/// Push-style streaming decoder for the EBCS container. Feed container
+/// bytes in any granularity; each completed block is decoded and its floats
+/// pushed into the FloatSink. finish() validates the terminator/trailer and
+/// throws std::runtime_error on a truncated or malformed stream.
+class StreamingDecoder {
+ public:
+  StreamingDecoder(CodecFactory factory, FloatSink sink);
+
+  void feed(const std::uint8_t* bytes, std::size_t n);
+  void finish();
+  void reset();
+
+  /// Re-target at a new sink (pooled reuse), keeping buffer capacity.
+  void rebind(FloatSink sink);
+
+  /// Spec recorded in the header (empty until the header has been parsed).
+  const std::string& spec() const { return spec_; }
+  std::size_t window_elems() const { return window_elems_; }
+  std::uint64_t floats_out() const { return floats_out_; }
+  bool done() const { return state_ == State::kDone; }
+
+  /// Bytes kept resident: at most one framed block plus its decoded floats.
+  /// A block payload is capped at 4x the raw window + 1 MiB (codecs can
+  /// expand incompressible data, but not unboundedly) — larger frames fail
+  /// loudly as malformed.
+  std::size_t max_block_bytes() const {
+    return 4 * window_elems_ * sizeof(float) + (std::size_t{1} << 20);
+  }
+
+ private:
+  enum class State { kMagic, kHeader, kBlockHeader, kBlockPayload, kTrailer, kDone };
+
+  void advance();  ///< consume as much of staging_ as the state allows
+
+  CodecFactory factory_;
+  FloatSink sink_;
+  std::shared_ptr<ActivationCodec> codec_;
+  std::unique_ptr<WindowDecoder> window_decoder_;
+  std::string spec_;
+  std::size_t window_elems_ = 0;
+  State state_ = State::kMagic;
+  std::vector<std::uint8_t> staging_;  ///< unconsumed input prefix
+  std::size_t need_ = 8;               ///< bytes required to advance
+  std::uint32_t block_payload_len_ = 0;
+  std::uint32_t block_numel_ = 0;
+  std::vector<float> decoded_;  ///< per-window float scratch
+  std::uint64_t floats_out_ = 0;
+};
+
+/// One-shot helpers over the streaming classes — the reference "one-shot
+/// path" the determinism tests compare streamed output against, and the
+/// convenience API for callers with the payload already resident.
+std::vector<std::uint8_t> streaming_encode_all(std::shared_ptr<ActivationCodec> codec,
+                                               const std::string& spec,
+                                               const float* data, std::size_t n,
+                                               std::size_t window_elems);
+std::vector<float> streaming_decode_all(const CodecFactory& factory,
+                                        const std::uint8_t* bytes, std::size_t n);
+
+}  // namespace ebct::nn

@@ -48,6 +48,54 @@ void MetricsRegistry::reset() {
   }
 }
 
+double ServeSnapshot::latency_percentile_ns(double p) const {
+  if (requests == 0) return 0.0;
+  const double target = p * static_cast<double>(requests);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kLatBuckets; ++i) {
+    cum += static_cast<double>(latency_buckets[i]);
+    if (cum >= target) return static_cast<double>(std::uint64_t{1} << (i + 1));
+  }
+  return static_cast<double>(std::uint64_t{1} << kLatBuckets);
+}
+
+ServeMetrics& ServeMetrics::instance() {
+  static ServeMetrics* m = new ServeMetrics;  // leaked: process lifetime
+  return *m;
+}
+
+void ServeMetrics::on_request_done(std::uint64_t latency_ns) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t b = 0;
+  while (b + 1 < ServeSnapshot::kLatBuckets && (std::uint64_t{1} << (b + 1)) < latency_ns) ++b;
+  lat_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeSnapshot ServeMetrics::snapshot() const {
+  ServeSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.rejects = rejects_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.active_sessions = active_.load(std::memory_order_relaxed);
+  s.peak_sessions = peak_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < ServeSnapshot::kLatBuckets; ++i)
+    s.latency_buckets[i] = lat_[i].load(std::memory_order_relaxed);
+  return s;
+}
+
+void ServeMetrics::reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  rejects_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  bytes_in_.store(0, std::memory_order_relaxed);
+  bytes_out_.store(0, std::memory_order_relaxed);
+  active_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  for (auto& b : lat_) b.store(0, std::memory_order_relaxed);
+}
+
 ScopedPhase::ScopedPhase(Phase p) : p_(p), t0_(trace::detail::now_ns()) {}
 
 ScopedPhase::~ScopedPhase() {

@@ -21,6 +21,7 @@ const char* cat_name(Cat cat) {
     case Cat::kPager:   return "pager";
     case Cat::kCodec:   return "codec";
     case Cat::kSession: return "session";
+    case Cat::kServe:   return "serve";
   }
   return "?";
 }

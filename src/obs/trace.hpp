@@ -47,6 +47,7 @@ enum class Cat : std::uint8_t {
   kPager = 2,   // pager tier transitions: spill I/O, prefetch, replay, waits
   kCodec = 3,   // codec encode/decode (sync and async paths)
   kSession = 4, // training loop phases: forward/backward brackets
+  kServe = 5,   // serving: per-request spans, window encode/decode tasks
 };
 const char* cat_name(Cat cat);
 

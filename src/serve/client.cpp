@@ -1,0 +1,249 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ebct::serve {
+
+namespace {
+
+/// RAII fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+int connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw std::invalid_argument("ebct_client: socket path too long for AF_UNIX: " + path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error(std::string("ebct_client: socket() failed: ") +
+                             std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("ebct_client: connect(" + path +
+                             ") failed: " + std::strerror(err));
+  }
+  return fd;
+}
+
+/// Incremental frame parser over the pump's receive buffer. Consumes
+/// complete frames from the front of `buf`; returns true when one was
+/// extracted into `out`.
+bool take_frame(std::vector<std::uint8_t>& buf, Frame& out) {
+  if (buf.size() < 5) return false;
+  const std::uint32_t len = get_u32(buf.data());
+  if (buf.size() < 5 + static_cast<std::size_t>(len)) return false;
+  const std::uint8_t type = buf[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kOpen) ||
+      type > static_cast<std::uint8_t>(FrameType::kError))
+    throw std::runtime_error("ebct_client: server sent unknown frame type " +
+                             std::to_string(type));
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buf.begin() + 5, buf.begin() + 5 + len);
+  buf.erase(buf.begin(), buf.begin() + 5 + len);
+  return true;
+}
+
+[[noreturn]] void throw_error_frame(const Frame& f) {
+  if (f.payload.size() < 2)
+    throw std::runtime_error("ebct_client: malformed ERROR frame from server");
+  const std::uint16_t code = get_u16(f.payload.data());
+  throw ServerError(code, std::string(f.payload.begin() + 2, f.payload.end()));
+}
+
+}  // namespace
+
+Client::Client(std::string socket_path) : socket_path_(std::move(socket_path)) {
+  if (socket_path_.empty())
+    throw std::invalid_argument("ebct_client: socket path must be non-empty");
+}
+
+TransferStats Client::run(const OpenRequest& open, const PullReader& reader,
+                          const PushWriter& writer) {
+  Fd sock{connect_unix(socket_path_)};
+  const int fd = sock.fd;
+
+  // OPEN/OPEN_OK handshake runs blocking: both frames are tiny and the
+  // server replies before any bulk data moves.
+  {
+    const auto payload = serialize_open(open);
+    write_frame(fd, FrameType::kOpen, payload.data(), payload.size());
+  }
+  TransferStats stats;
+  {
+    Frame f;
+    if (!read_frame(fd, f, kDefaultMaxFrame))
+      throw std::runtime_error("ebct_client: server closed during handshake");
+    if (f.type == FrameType::kError) throw_error_frame(f);
+    if (f.type != FrameType::kOpenOk)
+      throw std::runtime_error("ebct_client: expected OPEN_OK, got frame type " +
+                               std::to_string(static_cast<int>(f.type)));
+    if (f.payload.size() >= 4) stats.window_elems = get_u32(f.payload.data());
+  }
+
+  // Bulk transfer: non-blocking duplex pump.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw std::runtime_error(std::string("ebct_client: fcntl failed: ") +
+                             std::strerror(errno));
+
+  std::vector<std::uint8_t> outbuf;   // wire bytes queued to send
+  std::size_t out_at = 0;             // send offset into outbuf
+  std::vector<std::uint8_t> inbuf;    // wire bytes received, unparsed
+  std::vector<std::uint8_t> chunk(kIoChunk);
+  bool input_done = false;  // reader hit EOF and FINISH is queued
+  bool done = false;        // server sent DONE
+
+  while (!done) {
+    // Refill the send queue from the reader once drained.
+    if (!input_done && out_at == outbuf.size()) {
+      outbuf.clear();
+      out_at = 0;
+      const std::size_t n = reader(chunk.data(), chunk.size());
+      if (n > 0) {
+        append_frame(outbuf, FrameType::kData, chunk.data(), n);
+      } else {
+        append_frame(outbuf, FrameType::kFinish, nullptr, 0);
+        input_done = true;
+      }
+    }
+
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (out_at < outbuf.size()) pfd.events |= POLLOUT;
+    const int pr = ::poll(&pfd, 1, 1000);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ebct_client: poll failed: ") +
+                               std::strerror(errno));
+    }
+
+    if (pfd.revents & POLLOUT) {
+      // MSG_NOSIGNAL: EPIPE (server closed after an error frame we have not
+      // drained yet), not SIGPIPE. The pending error frame in inbuf still
+      // gets parsed, so the caller sees the ServerError, not the EPIPE.
+      const ssize_t n =
+          ::send(fd, outbuf.data() + out_at, outbuf.size() - out_at, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EPIPE) {
+          outbuf.clear();  // stop writing; drain the server's verdict
+          out_at = 0;
+          input_done = true;
+        } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+          throw std::runtime_error(std::string("ebct_client: write failed: ") +
+                                   std::strerror(errno));
+        }
+      } else {
+        out_at += static_cast<std::size_t>(n);
+      }
+    }
+
+    if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+      const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+      if (n < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+          throw std::runtime_error(std::string("ebct_client: read failed: ") +
+                                   std::strerror(errno));
+      } else if (n == 0) {
+        throw std::runtime_error("ebct_client: server closed connection mid-request");
+      } else {
+        inbuf.insert(inbuf.end(), chunk.data(), chunk.data() + n);
+        Frame f;
+        while (take_frame(inbuf, f)) {
+          switch (f.type) {
+            case FrameType::kData:
+              writer(f.payload.data(), f.payload.size());
+              break;
+            case FrameType::kDone:
+              if (f.payload.size() >= 16) {
+                stats.bytes_in = get_u64(f.payload.data());
+                stats.bytes_out = get_u64(f.payload.data() + 8);
+              }
+              done = true;
+              break;
+            case FrameType::kError:
+              throw_error_frame(f);
+            default:
+              throw std::runtime_error("ebct_client: unexpected frame type " +
+                                       std::to_string(static_cast<int>(f.type)) +
+                                       " mid-request");
+          }
+          if (done) break;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+TransferStats Client::encode(const std::string& tenant, const std::string& spec,
+                             std::size_t window_elems, const PullReader& reader,
+                             const PushWriter& writer) {
+  OpenRequest req;
+  req.op = Op::kEncode;
+  req.tenant = tenant;
+  req.spec = spec;
+  req.window_elems = static_cast<std::uint32_t>(window_elems);
+  return run(req, reader, writer);
+}
+
+TransferStats Client::decode(const std::string& tenant, const PullReader& reader,
+                             const PushWriter& writer) {
+  OpenRequest req;
+  req.op = Op::kDecode;
+  req.tenant = tenant;
+  return run(req, reader, writer);
+}
+
+std::vector<std::uint8_t> Client::encode_bytes(const std::string& tenant,
+                                               const std::string& spec,
+                                               std::size_t window_elems,
+                                               const std::vector<std::uint8_t>& raw) {
+  std::size_t at = 0;
+  std::vector<std::uint8_t> out;
+  encode(
+      tenant, spec, window_elems,
+      [&raw, &at](std::uint8_t* buf, std::size_t cap) {
+        const std::size_t n = std::min(cap, raw.size() - at);
+        std::memcpy(buf, raw.data() + at, n);
+        at += n;
+        return n;
+      },
+      [&out](const std::uint8_t* data, std::size_t n) { out.insert(out.end(), data, data + n); });
+  return out;
+}
+
+std::vector<std::uint8_t> Client::decode_bytes(const std::string& tenant,
+                                               const std::vector<std::uint8_t>& container) {
+  std::size_t at = 0;
+  std::vector<std::uint8_t> out;
+  decode(
+      tenant,
+      [&container, &at](std::uint8_t* buf, std::size_t cap) {
+        const std::size_t n = std::min(cap, container.size() - at);
+        std::memcpy(buf, container.data() + at, n);
+        at += n;
+        return n;
+      },
+      [&out](const std::uint8_t* data, std::size_t n) { out.insert(out.end(), data, data + n); });
+  return out;
+}
+
+}  // namespace ebct::serve

@@ -1,0 +1,180 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ebct::serve {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void append_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  const std::uint8_t* payload, std::size_t len) {
+  put_u32(out, static_cast<std::uint32_t>(len));
+  out.push_back(static_cast<std::uint8_t>(type));
+  if (len > 0) out.insert(out.end(), payload, payload + len);
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-request must surface as EPIPE
+    // (an exception the handler reports), not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ebct_serve: socket write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_frame(int fd, FrameType type, const std::uint8_t* payload, std::size_t len) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(5 + len);
+  append_frame(buf, type, payload, len);
+  write_all(fd, buf.data(), buf.size());
+}
+
+void write_error_frame(int fd, std::uint16_t code, const std::string& message) noexcept {
+  try {
+    std::vector<std::uint8_t> payload;
+    put_u16(payload, code);
+    payload.insert(payload.end(), message.begin(), message.end());
+    write_frame(fd, FrameType::kError, payload.data(), payload.size());
+  } catch (...) {
+    // Teardown path: the peer may already be gone; nothing more to report.
+  }
+}
+
+namespace {
+
+/// Blocking exact read. Returns false on EOF before the first byte (clean
+/// close); throws on EOF mid-buffer or error. Polls in 100 ms slices so a
+/// draining server can abandon the wait via `poll_stop`.
+bool read_exact(int fd, std::uint8_t* data, std::size_t len, bool eof_ok,
+                const std::function<bool()>* poll_stop) {
+  std::size_t got = 0;
+  while (got < len) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ebct_serve: poll failed: ") +
+                               std::strerror(errno));
+    }
+    if (pr == 0) {
+      if (poll_stop && (*poll_stop)())
+        throw std::runtime_error("ebct_serve: read abandoned (server draining)");
+      continue;
+    }
+    const ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ebct_serve: socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw std::runtime_error("ebct_serve: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool read_frame(int fd, Frame& out, std::size_t max_payload,
+                const std::function<bool()>* poll_stop) {
+  std::uint8_t header[5];
+  if (!read_exact(fd, header, 5, /*eof_ok=*/true, poll_stop)) return false;
+  const std::uint32_t len = get_u32(header);
+  const std::uint8_t type = header[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kOpen) ||
+      type > static_cast<std::uint8_t>(FrameType::kError))
+    throw ServerError(kErrMalformed, "unknown frame type " + std::to_string(type));
+  if (len > max_payload)
+    throw ServerError(kErrFrameTooBig, "frame payload " + std::to_string(len) +
+                                           " bytes exceeds cap " +
+                                           std::to_string(max_payload));
+  out.type = static_cast<FrameType>(type);
+  out.payload.resize(len);
+  if (len > 0) read_exact(fd, out.payload.data(), len, /*eof_ok=*/false, poll_stop);
+  return true;
+}
+
+std::vector<std::uint8_t> serialize_open(const OpenRequest& req) {
+  std::vector<std::uint8_t> p;
+  p.push_back(static_cast<std::uint8_t>(req.op));
+  put_u16(p, static_cast<std::uint16_t>(req.tenant.size()));
+  p.insert(p.end(), req.tenant.begin(), req.tenant.end());
+  put_u16(p, static_cast<std::uint16_t>(req.spec.size()));
+  p.insert(p.end(), req.spec.begin(), req.spec.end());
+  put_u32(p, req.window_elems);
+  return p;
+}
+
+OpenRequest parse_open(const std::vector<std::uint8_t>& payload) {
+  const auto need = [&payload](std::size_t at, std::size_t n) {
+    if (at + n > payload.size())
+      throw ServerError(kErrMalformed, "truncated OPEN payload");
+  };
+  OpenRequest req;
+  need(0, 1);
+  const std::uint8_t op = payload[0];
+  if (op > 1) throw ServerError(kErrMalformed, "OPEN op must be 0 (encode) or 1 (decode)");
+  req.op = static_cast<Op>(op);
+  std::size_t at = 1;
+  need(at, 2);
+  const std::uint16_t tenant_len = get_u16(payload.data() + at);
+  at += 2;
+  need(at, tenant_len);
+  req.tenant.assign(reinterpret_cast<const char*>(payload.data() + at), tenant_len);
+  at += tenant_len;
+  need(at, 2);
+  const std::uint16_t spec_len = get_u16(payload.data() + at);
+  at += 2;
+  need(at, spec_len);
+  req.spec.assign(reinterpret_cast<const char*>(payload.data() + at), spec_len);
+  at += spec_len;
+  need(at, 4);
+  req.window_elems = get_u32(payload.data() + at);
+  at += 4;
+  if (at != payload.size())
+    throw ServerError(kErrMalformed, "trailing bytes in OPEN payload");
+  if (req.tenant.empty()) throw ServerError(kErrMalformed, "OPEN tenant must be non-empty");
+  if (req.op == Op::kEncode && req.spec.empty())
+    throw ServerError(kErrMalformed, "OPEN encode requires a codec spec");
+  return req;
+}
+
+}  // namespace ebct::serve

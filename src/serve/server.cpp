@@ -1,0 +1,339 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/sched.hpp"
+
+namespace ebct::serve {
+
+namespace {
+
+/// Strict env parses, same contract as the framework envs (core/session.cpp):
+/// a set-but-malformed value throws instead of silently defaulting.
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0')
+    throw std::invalid_argument(std::string(name) + " must be a non-negative integer, got '" +
+                                v + "'");
+  return static_cast<std::size_t>(parsed);
+}
+
+int env_int(const char* name, int fallback) {
+  const std::size_t v = env_size(name, static_cast<std::size_t>(fallback));
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::from_env() { return from_env(ServerConfig{}); }
+
+ServerConfig ServerConfig::from_env(ServerConfig base) {
+  if (const char* v = std::getenv("EBCT_SERVE_SOCKET"); v != nullptr && *v != '\0')
+    base.socket_path = v;
+  base.window_elems = env_size("EBCT_SERVE_WINDOW", base.window_elems);
+  base.max_frame = env_size("EBCT_SERVE_MAX_FRAME", base.max_frame);
+  base.tenant_budget_bytes = env_size("EBCT_SERVE_TENANT_BUDGET", base.tenant_budget_bytes);
+  base.drain_grace_ms = env_int("EBCT_SERVE_DRAIN_MS", base.drain_grace_ms);
+  if (base.max_frame == 0)
+    throw std::invalid_argument("EBCT_SERVE_MAX_FRAME must be positive");
+  return base;
+}
+
+Server::Server(ServerConfig cfg, core::FrameworkConfig fw)
+    : cfg_(std::move(cfg)),
+      fw_(std::move(fw)),
+      pool_([this](const std::string& spec) {
+        return core::CodecRegistry::instance().create(spec, fw_);
+      }) {
+  if (cfg_.socket_path.empty())
+    throw std::invalid_argument("ebct_serve: socket path must be set (EBCT_SERVE_SOCKET)");
+  // AF_UNIX sun_path is ~108 bytes; fail loudly instead of binding truncated.
+  if (cfg_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    throw std::invalid_argument("ebct_serve: socket path too long for AF_UNIX: " +
+                                cfg_.socket_path);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("ebct_serve: socket() failed: ") +
+                             std::strerror(errno));
+  ::unlink(cfg_.socket_path.c_str());  // stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, cfg_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ebct_serve: bind(" + cfg_.socket_path +
+                             ") failed: " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("ebct_serve: listen() failed: ") +
+                             std::strerror(err));
+  }
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // In-flight requests finish (their reads poll stopping_ and give up after
+  // drain_grace_ms of silence); idle connections see the abandoned read and
+  // close. Join everything.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+  ::unlink(cfg_.socket_path.c_str());
+}
+
+memory::TierAccounting& Server::tenant_acct(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& slot = tenants_[tenant];
+  if (!slot) slot = std::make_unique<memory::TierAccounting>();
+  return *slot;
+}
+
+memory::TierUsage Server::tenant_usage(const std::string& tenant) {
+  return tenant_acct(tenant).usage();
+}
+
+void Server::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    struct pollfd pfd {};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener gone — stop() handles cleanup
+    }
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+  obs::ServeMetrics::instance().on_session_open();
+  try {
+    handle_request(fd);
+  } catch (...) {
+    // handle_request reports its own errors; nothing useful left to do.
+  }
+  ::close(fd);
+  obs::ServeMetrics::instance().on_session_close();
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::handle_request(int fd) {
+  auto& metrics = obs::ServeMetrics::instance();
+  const std::uint64_t t0 = obs::trace::detail::now_ns();
+
+  // Reads poll this so a draining server abandons sockets that go silent.
+  // In-flight requests get drain_grace_ms of patience from the stop signal;
+  // connections idle at a frame boundary drop out at the first poll slice.
+  std::int64_t grace_left_ms = cfg_.drain_grace_ms;
+  std::function<bool()> poll_stop = [this, &grace_left_ms]() mutable {
+    if (!stopping_.load(std::memory_order_acquire)) return false;
+    grace_left_ms -= 100;  // one poll slice
+    return grace_left_ms <= 0;
+  };
+
+  Frame frame;
+  OpenRequest req;
+  try {
+    if (!read_frame(fd, frame, cfg_.max_frame, &poll_stop)) return;  // connected, said nothing
+    if (frame.type != FrameType::kOpen)
+      throw ServerError(kErrMalformed, "expected OPEN as the first frame");
+    req = parse_open(frame.payload);
+  } catch (const ServerError& e) {
+    metrics.on_error();
+    write_error_frame(fd, e.code(), e.what());
+    return;
+  } catch (const std::exception& e) {
+    metrics.on_error();
+    write_error_frame(fd, kErrInternal, e.what());
+    return;
+  }
+
+  const bool encode = req.op == Op::kEncode;
+  obs::trace::Span span(encode ? "serve.encode" : "serve.decode", obs::trace::Cat::kServe);
+
+  std::unique_ptr<EncodeSession> enc;
+  std::unique_ptr<DecodeSession> dec;
+  memory::TierAccounting& acct = tenant_acct(req.tenant);
+  std::size_t charged = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  // Output sink: frames bytes back to the client. Runs on the pool thread
+  // executing the current window task; the handler never writes the socket
+  // while a task is in flight, so writes stay ordered.
+  auto sink = [this, fd, &bytes_out](const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+      const std::size_t take = std::min(n, cfg_.max_frame);
+      write_frame(fd, FrameType::kData, data, take);
+      data += take;
+      n -= take;
+      bytes_out += take;
+    }
+  };
+
+  auto release = [&]() {
+    if (charged > 0) {
+      acct.sub(memory::Tier::kRaw, charged);
+      charged = 0;
+    }
+    if (enc) pool_.release_encode(std::move(enc));
+    if (dec) pool_.release_decode(std::move(dec));
+  };
+
+  try {
+    const std::size_t window = req.window_elems != 0 ? req.window_elems : cfg_.window_elems;
+    if (encode) {
+      std::shared_ptr<nn::ActivationCodec> codec;
+      try {
+        codec = core::CodecRegistry::instance().create(req.spec, fw_);
+      } catch (const std::invalid_argument& e) {
+        throw ServerError(kErrUnknownSpec, e.what());
+      }
+      enc = pool_.acquire_encode();
+      enc->begin(std::move(codec), req.spec, window, sink);
+    } else {
+      dec = pool_.acquire_decode();
+      dec->begin(sink);
+    }
+
+    // Budget admission: charge the session's resident cap, then check.
+    // add-then-check keeps the race window closed against concurrent
+    // admissions of the same tenant (both see the sum including the other).
+    const std::size_t cap = encode ? enc->resident_cap_bytes() : dec->resident_cap_bytes();
+    acct.add(memory::Tier::kRaw, cap);
+    charged = cap;
+    if (cfg_.tenant_budget_bytes != 0 &&
+        acct.usage().resident() > cfg_.tenant_budget_bytes) {
+      acct.on_over_budget();
+      throw ServerError(kErrOverBudget,
+                        "tenant '" + req.tenant + "' over byte budget (" +
+                            std::to_string(cfg_.tenant_budget_bytes) +
+                            "); retry when sessions drain");
+    }
+
+    {
+      std::vector<std::uint8_t> ok;
+      put_u32(ok, static_cast<std::uint32_t>(encode ? enc->window_elems() : 0));
+      write_frame(fd, FrameType::kOpenOk, ok.data(), ok.size());
+    }
+
+    // Double-buffered ingest: while the pool runs the feed task for chunk
+    // k, the handler blocks in read_frame for chunk k+1. wait() rethrows
+    // codec/protocol errors from the task. `busy` is declared before the
+    // Future so unwinding waits for the task before freeing its input.
+    std::vector<std::uint8_t> busy;  // chunk owned by the in-flight task
+    tensor::sched::Future in_flight;
+    bool finished = false;
+    while (!finished) {
+      if (!read_frame(fd, frame, cfg_.max_frame, &poll_stop))
+        throw ServerError(kErrMalformed, "client disconnected mid-request");
+      if (in_flight.valid()) in_flight.wait();
+      switch (frame.type) {
+        case FrameType::kData: {
+          bytes_in += frame.payload.size();
+          busy.swap(frame.payload);
+          EncodeSession* e = enc.get();
+          DecodeSession* d = dec.get();
+          const std::uint8_t* data = busy.data();
+          const std::size_t n = busy.size();
+          in_flight = tensor::sched::async([e, d, data, n] {
+            obs::trace::Span wspan("serve.window", obs::trace::Cat::kServe);
+            if (e)
+              e->feed_bytes(data, n);
+            else
+              d->feed_bytes(data, n);
+          });
+          break;
+        }
+        case FrameType::kFinish:
+          finished = true;
+          break;
+        default:
+          throw ServerError(kErrMalformed, "unexpected frame type mid-request");
+      }
+    }
+    if (encode)
+      enc->finish();
+    else
+      dec->finish();
+
+    // Commit metrics and release the budget charge BEFORE the DONE frame:
+    // once the client sees DONE the request is complete, so a snapshot taken
+    // then must already include it (and a follow-up request by the same
+    // tenant must not bounce off a charge we are about to drop anyway).
+    metrics.on_bytes_in(bytes_in);
+    metrics.on_bytes_out(bytes_out);
+    metrics.on_request_done(obs::trace::detail::now_ns() - t0);
+    release();
+    std::vector<std::uint8_t> done;
+    put_u64(done, bytes_in);
+    put_u64(done, bytes_out);
+    write_frame(fd, FrameType::kDone, done.data(), done.size());
+  } catch (const ServerError& e) {
+    if (e.code() == kErrOverBudget)
+      metrics.on_reject();
+    else
+      metrics.on_error();
+    write_error_frame(fd, e.code(), e.what());
+    release();
+  } catch (const std::exception& e) {
+    metrics.on_error();
+    // A malformed EBCS container surfaces as a streaming-decode failure out
+    // of the feed task — that is the client's fault, not the server's.
+    const bool client_fault =
+        std::string_view(e.what()).find("streaming decode:") != std::string_view::npos;
+    write_error_frame(fd, client_fault ? kErrMalformed : kErrInternal, e.what());
+    release();
+  }
+}
+
+}  // namespace ebct::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file server.hpp
+/// The ebct_serve daemon core: a long-lived server multiplexing concurrent
+/// streaming encode/decode requests over an AF_UNIX socket.
+///
+/// Architecture (docs/SERVING.md has the operator-facing description):
+///
+///  - One accept thread; one handler thread per connection (requests are
+///    long-lived streams, so thread-per-connection is the right shape —
+///    the CPU-heavy work is NOT on these threads).
+///  - Per-window codec work is dispatched onto the process-wide
+///    work-stealing pool (tensor/sched.hpp) with one task in flight per
+///    request: the handler reads frame k+1 from the socket while the pool
+///    encodes window k (double buffering), so concurrent requests share
+///    the pool fairly and a single request still overlaps I/O with codec
+///    compute.
+///  - Per-tenant byte budgets ride the existing memory::TierAccounting:
+///    each tenant gets an instance; a session's resident-byte cap is
+///    charged at admission (add -> check -> rollback on overflow), and a
+///    tenant over budget gets a 429-style reject — backpressure, not
+///    queueing — until running sessions release their charge.
+///  - SIGTERM drain: stop() closes the listener, lets in-flight requests
+///    complete (bounded by drain_grace_ms), wakes idle reads, joins every
+///    handler, then releases pooled sessions. The daemon wrapper
+///    (examples/ebct_serve.cpp) translates the signal into stop().
+///  - Observability: every request runs under an obs::trace span
+///    (cat "serve") and feeds the obs::ServeMetrics serve_* counters.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/codec_registry.hpp"
+#include "memory/accounting.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace ebct::serve {
+
+struct ServerConfig {
+  std::string socket_path;                             ///< EBCT_SERVE_SOCKET
+  std::size_t window_elems = nn::kDefaultWindowElems;  ///< EBCT_SERVE_WINDOW
+  std::size_t max_frame = kDefaultMaxFrame;            ///< EBCT_SERVE_MAX_FRAME
+  std::size_t tenant_budget_bytes = 0;                 ///< EBCT_SERVE_TENANT_BUDGET, 0 = off
+  int drain_grace_ms = 5000;                           ///< EBCT_SERVE_DRAIN_MS
+
+  /// Overlay EBCT_SERVE_* env vars (strict parses, same contract as the
+  /// framework envs: bad values throw rather than silently default).
+  static ServerConfig from_env(ServerConfig base);
+  static ServerConfig from_env();
+};
+
+class Server {
+ public:
+  /// `fw` seeds codec construction (same defaults the registry applies in
+  /// TrainingSession), so a served "sz" stream matches an in-process one.
+  explicit Server(ServerConfig cfg, core::FrameworkConfig fw = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start accepting. Throws on socket errors (stale
+  /// socket files are unlinked first).
+  void start();
+
+  /// Drain and shut down: stop accepting, complete in-flight requests
+  /// (up to drain_grace_ms each), join all threads. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const ServerConfig& config() const { return cfg_; }
+
+  /// Tenant ledger snapshot (creates the tenant on first use) — test hook.
+  memory::TierUsage tenant_usage(const std::string& tenant);
+
+  /// Number of connections currently being handled.
+  std::size_t active_connections() const {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void handle_request(int fd);
+  memory::TierAccounting& tenant_acct(const std::string& tenant);
+
+  ServerConfig cfg_;
+  core::FrameworkConfig fw_;
+  SessionPool pool_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> active_conns_{0};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<memory::TierAccounting>> tenants_;
+};
+
+}  // namespace ebct::serve

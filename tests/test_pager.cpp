@@ -239,6 +239,70 @@ TEST(PagerTest, PrefetchServesDropsAndCountsHits) {
   EXPECT_GT(c.prefetch_hits, 0u);
 }
 
+// --- Write-behind soak: the evidence behind the default-on flip. -------------
+
+TEST(PagerTest, WriteBehindSoakRecoversFromInjectedWriteFaults) {
+  // Many iterations of tight-budget churn with spill-write faults injected
+  // at a rotating position. The contract under test: a failed write-behind
+  // spill surfaces as an exception at the next budget enforcement (or at
+  // drain()), the victim's payload stays resident, previously issued
+  // handles stay valid, and the pager keeps working — every page still
+  // reloads bitwise and nothing (pages, extents, files) leaks.
+  PagerConfig cfg;
+  cfg.budget_bytes = 2 * kPage;  // evicts on nearly every put
+  cfg.prefetch_depth = 0;
+  cfg.write_behind = true;
+  cfg.write_window = 4;
+
+  constexpr int kIterations = 50;
+  constexpr int kPages = 8;
+  std::size_t faults_surfaced = 0;
+  SpillFile::fail_next_writes(0);
+  for (int iter = 0; iter < kIterations; ++iter) {
+    ActivationPager pager(cfg, nullptr);
+    std::vector<PageId> hs;
+    std::vector<Tensor> orig;
+    for (int i = 0; i < kPages; ++i) {
+      orig.push_back(page_tensor(1000 + static_cast<std::uint64_t>(iter * kPages + i)));
+      if (i == iter % kPages) {
+        // 1..3 consecutive faults: exercises both the single-failure path
+        // and back-to-back failures across the write window.
+        SpillFile::fail_next_writes(1 + static_cast<std::uint64_t>(iter % 3));
+      }
+      for (;;) {
+        try {
+          hs.push_back(pager.put_exact("l" + std::to_string(i), orig.back().clone()));
+          break;
+        } catch (const std::runtime_error& e) {
+          // put_exact erases the not-yet-returned page on a failed enforce,
+          // so the put can be retried verbatim; it succeeds once the armed
+          // faults are consumed.
+          ASSERT_NE(std::string(e.what()).find("injected write fault"),
+                    std::string::npos)
+              << "unexpected error during soak: " << e.what();
+          ++faults_surfaced;
+        }
+      }
+    }
+    SpillFile::fail_next_writes(0);
+    // A fault landing after the last enforcement surfaces at drain(); a
+    // second drain must then be clean.
+    try {
+      pager.drain();
+    } catch (const std::runtime_error&) {
+      ++faults_surfaced;
+    }
+    pager.drain();
+    for (int i = kPages - 1; i >= 0; --i) {
+      Tensor back = pager.drop(hs[static_cast<std::size_t>(i)]);
+      expect_identical(back, orig[static_cast<std::size_t>(i)]);
+    }
+    EXPECT_EQ(pager.num_pages(), 0u) << "iter " << iter;
+  }
+  EXPECT_GT(faults_surfaced, 0u) << "soak never hit the injected error path";
+  EXPECT_EQ(SpillFile::files_open(), 0u);
+}
+
 // --- End-to-end determinism: the acceptance criterion. -----------------------
 
 struct RunResult {
@@ -247,7 +311,7 @@ struct RunResult {
 };
 
 RunResult train_once(std::size_t budget, bool async, int pool_threads,
-                     std::size_t iterations = 6) {
+                     std::size_t iterations = 6, bool write_behind = true) {
   tensor::sched::set_num_threads(pool_threads);
   models::ModelConfig mcfg;
   mcfg.input_hw = 16;
@@ -269,6 +333,7 @@ RunResult train_once(std::size_t budget, bool async, int pool_threads,
   cfg.framework.active_factor_w = 4;
   cfg.framework.memory_budget_bytes = budget;
   cfg.framework.async_compression = async;
+  cfg.framework.write_behind = write_behind;
   cfg.base_lr = 0.05;
   core::TrainingSession session(*net, loader, cfg);
   session.run(iterations);
@@ -320,6 +385,21 @@ TEST(PagerDeterminismTest, ByteIdenticalAcrossPoolsAndBudgets) {
   const RunResult async_run = train_once(/*budget=*/tight, /*async=*/true, max_pool);
   for (std::size_t i = 0; i < ref.losses.size(); ++i)
     ASSERT_EQ(async_run.losses[i], ref.losses[i]) << "async iter " << i;
+
+  // Write-behind (default-on) is a pure scheduling change: the synchronous
+  // spill path produces the same losses and the same eviction/spill
+  // counters at the same budget.
+  const RunResult sync_run = train_once(tight, /*async=*/false, max_pool,
+                                        /*iterations=*/6, /*write_behind=*/false);
+  const RunResult wb_run = train_once(tight, /*async=*/false, max_pool,
+                                      /*iterations=*/6, /*write_behind=*/true);
+  for (std::size_t i = 0; i < ref.losses.size(); ++i) {
+    ASSERT_EQ(sync_run.losses[i], ref.losses[i]) << "sync iter " << i;
+    ASSERT_EQ(wb_run.losses[i], ref.losses[i]) << "write-behind iter " << i;
+  }
+  EXPECT_EQ(sync_run.pager_counters.evictions, wb_run.pager_counters.evictions);
+  EXPECT_EQ(sync_run.pager_counters.spill_write_bytes,
+            wb_run.pager_counters.spill_write_bytes);
 
   tensor::sched::set_num_threads(initial_pool);
   EXPECT_EQ(SpillFile::files_open(), 0u);  // every session tore its spill down
