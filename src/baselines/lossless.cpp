@@ -88,10 +88,22 @@ void LosslessCodec::decode_span(const std::uint8_t* payload, std::size_t payload
     throw std::runtime_error("lossless decode: header declares " +
                              std::to_string(declared_numel) + " elems, expected " +
                              std::to_string(numel));
-  std::uint64_t total = kHeaderBytes + rle_size;
-  for (auto s : plane_sizes) total += s;
-  if (total > payload_len)
+  if (packed_count > numel)
+    throw std::runtime_error("lossless decode: packed count " +
+                             std::to_string(packed_count) + " exceeds numel " +
+                             std::to_string(numel));
+  // Validate each declared size against the bytes actually left, never by
+  // summing: the sizes are untrusted u64s and a sum can wrap past
+  // payload_len.
+  std::uint64_t remaining = payload_len - kHeaderBytes;
+  if (rle_size > remaining)
     throw std::runtime_error("lossless decode: payload truncated");
+  remaining -= rle_size;
+  for (auto s : plane_sizes) {
+    if (s > remaining)
+      throw std::runtime_error("lossless decode: payload truncated");
+    remaining -= s;
+  }
 
   std::span<const std::uint8_t> rle_bytes{p, static_cast<std::size_t>(rle_size)};
   p += rle_size;

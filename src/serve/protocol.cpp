@@ -40,34 +40,52 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
   if (len > 0) out.insert(out.end(), payload, payload + len);
 }
 
-void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::function<bool()>* poll_stop) {
   while (len > 0) {
     // MSG_NOSIGNAL: a peer that vanished mid-request must surface as EPIPE
     // (an exception the handler reports), not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    // MSG_DONTWAIT: a peer that stopped *reading* (full socket buffer) must
+    // surface as EAGAIN so we fall through to the poll slice below and give
+    // poll_stop a chance to abandon the drain — mirroring read_exact.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
       throw std::runtime_error(std::string("ebct_serve: socket write failed: ") +
                                std::strerror(errno));
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int pr = ::poll(&pfd, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("ebct_serve: poll failed: ") +
+                               std::strerror(errno));
     }
-    data += n;
-    len -= static_cast<std::size_t>(n);
+    if (pr == 0 && poll_stop && (*poll_stop)())
+      throw std::runtime_error("ebct_serve: write abandoned (server draining)");
   }
 }
 
-void write_frame(int fd, FrameType type, const std::uint8_t* payload, std::size_t len) {
+void write_frame(int fd, FrameType type, const std::uint8_t* payload, std::size_t len,
+                 const std::function<bool()>* poll_stop) {
   std::vector<std::uint8_t> buf;
   buf.reserve(5 + len);
   append_frame(buf, type, payload, len);
-  write_all(fd, buf.data(), buf.size());
+  write_all(fd, buf.data(), buf.size(), poll_stop);
 }
 
-void write_error_frame(int fd, std::uint16_t code, const std::string& message) noexcept {
+void write_error_frame(int fd, std::uint16_t code, const std::string& message,
+                       const std::function<bool()>* poll_stop) noexcept {
   try {
     std::vector<std::uint8_t> payload;
     put_u16(payload, code);
     payload.insert(payload.end(), message.begin(), message.end());
-    write_frame(fd, FrameType::kError, payload.data(), payload.size());
+    write_frame(fd, FrameType::kError, payload.data(), payload.size(), poll_stop);
   } catch (...) {
     // Teardown path: the peer may already be gone; nothing more to report.
   }

@@ -94,14 +94,20 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
                   const std::uint8_t* payload, std::size_t len);
 
 /// Blocking exact write of the whole buffer; throws std::runtime_error on
-/// EPIPE/EINTR-exhausted/other socket errors.
-void write_all(int fd, const std::uint8_t* data, std::size_t len);
+/// EPIPE/EINTR-exhausted/other socket errors. Like read_frame, polls in
+/// 100 ms slices and consults `poll_stop` between them, so a draining
+/// server also abandons writes to a peer that stopped reading (full socket
+/// buffer) instead of hanging stop() past drain_grace_ms.
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const std::function<bool()>* poll_stop = nullptr);
 
-/// Blocking frame write.
-void write_frame(int fd, FrameType type, const std::uint8_t* payload, std::size_t len);
+/// Blocking frame write; same `poll_stop` contract as write_all.
+void write_frame(int fd, FrameType type, const std::uint8_t* payload, std::size_t len,
+                 const std::function<bool()>* poll_stop = nullptr);
 
 /// Convenience error-frame write (never throws — used on teardown paths).
-void write_error_frame(int fd, std::uint16_t code, const std::string& message) noexcept;
+void write_error_frame(int fd, std::uint16_t code, const std::string& message,
+                       const std::function<bool()>* poll_stop = nullptr) noexcept;
 
 /// Blocking frame read with a payload size cap. Returns false on clean EOF
 /// at a frame boundary; throws on mid-frame EOF, oversize payloads

@@ -108,16 +108,16 @@ void Server::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // In-flight requests finish (their reads poll stopping_ and give up after
-  // drain_grace_ms of silence); idle connections see the abandoned read and
-  // close. Join everything.
-  std::vector<std::thread> threads;
+  // In-flight requests finish (their reads and writes poll stopping_ and
+  // give up after drain_grace_ms of silence); idle connections see the
+  // abandoned read and close. Join everything.
+  std::vector<Conn> conns;
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
-    threads.swap(conn_threads_);
+    conns.swap(conns_);
   }
-  for (auto& t : threads)
-    if (t.joinable()) t.join();
+  for (auto& c : conns)
+    if (c.thread.joinable()) c.thread.join();
   ::unlink(cfg_.socket_path.c_str());
 }
 
@@ -132,6 +132,21 @@ memory::TierUsage Server::tenant_usage(const std::string& tenant) {
   return tenant_acct(tenant).usage();
 }
 
+void Server::reap_finished_locked() {
+  // A conn whose done flag is set has left handle_connection; its join
+  // completes in microseconds (the thread is between the store and pthread
+  // exit at worst), so reaping under the lock is fine.
+  auto it = conns_.begin();
+  while (it != conns_.end()) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Server::accept_loop() {
   while (running_.load(std::memory_order_acquire)) {
     struct pollfd pfd {};
@@ -142,14 +157,23 @@ void Server::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listener gone — stop() handles cleanup
     }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      reap_finished_locked();
+    }
     if (pr == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(conns_mu_);
-    conn_threads_.emplace_back([this, fd] { handle_connection(fd); });
+    conns_.push_back({std::thread([this, fd, done] {
+                        handle_connection(fd);
+                        done->store(true, std::memory_order_release);
+                      }),
+                      done});
   }
 }
 
@@ -170,14 +194,16 @@ void Server::handle_request(int fd) {
   auto& metrics = obs::ServeMetrics::instance();
   const std::uint64_t t0 = obs::trace::detail::now_ns();
 
-  // Reads poll this so a draining server abandons sockets that go silent.
-  // In-flight requests get drain_grace_ms of patience from the stop signal;
-  // connections idle at a frame boundary drop out at the first poll slice.
-  std::int64_t grace_left_ms = cfg_.drain_grace_ms;
-  std::function<bool()> poll_stop = [this, &grace_left_ms]() mutable {
+  // Reads AND writes poll this so a draining server abandons sockets that
+  // go silent (or stop reading). In-flight requests get drain_grace_ms of
+  // patience from the stop signal; connections idle at a frame boundary
+  // drop out at the first poll slice. Atomic because the sink's writes run
+  // on a pool thread concurrently with the handler's reads.
+  auto grace_left_ms = std::make_shared<std::atomic<std::int64_t>>(cfg_.drain_grace_ms);
+  std::function<bool()> poll_stop = [this, grace_left_ms]() {
     if (!stopping_.load(std::memory_order_acquire)) return false;
-    grace_left_ms -= 100;  // one poll slice
-    return grace_left_ms <= 0;
+    // one poll slice burned waiting
+    return grace_left_ms->fetch_sub(100, std::memory_order_acq_rel) - 100 <= 0;
   };
 
   Frame frame;
@@ -189,11 +215,11 @@ void Server::handle_request(int fd) {
     req = parse_open(frame.payload);
   } catch (const ServerError& e) {
     metrics.on_error();
-    write_error_frame(fd, e.code(), e.what());
+    write_error_frame(fd, e.code(), e.what(), &poll_stop);
     return;
   } catch (const std::exception& e) {
     metrics.on_error();
-    write_error_frame(fd, kErrInternal, e.what());
+    write_error_frame(fd, kErrInternal, e.what(), &poll_stop);
     return;
   }
 
@@ -210,10 +236,10 @@ void Server::handle_request(int fd) {
   // Output sink: frames bytes back to the client. Runs on the pool thread
   // executing the current window task; the handler never writes the socket
   // while a task is in flight, so writes stay ordered.
-  auto sink = [this, fd, &bytes_out](const std::uint8_t* data, std::size_t n) {
+  auto sink = [this, fd, &bytes_out, &poll_stop](const std::uint8_t* data, std::size_t n) {
     while (n > 0) {
       const std::size_t take = std::min(n, cfg_.max_frame);
-      write_frame(fd, FrameType::kData, data, take);
+      write_frame(fd, FrameType::kData, data, take, &poll_stop);
       data += take;
       n -= take;
       bytes_out += take;
@@ -263,7 +289,7 @@ void Server::handle_request(int fd) {
     {
       std::vector<std::uint8_t> ok;
       put_u32(ok, static_cast<std::uint32_t>(encode ? enc->window_elems() : 0));
-      write_frame(fd, FrameType::kOpenOk, ok.data(), ok.size());
+      write_frame(fd, FrameType::kOpenOk, ok.data(), ok.size(), &poll_stop);
     }
 
     // Double-buffered ingest: while the pool runs the feed task for chunk
@@ -277,6 +303,27 @@ void Server::handle_request(int fd) {
       if (!read_frame(fd, frame, cfg_.max_frame, &poll_stop))
         throw ServerError(kErrMalformed, "client disconnected mid-request");
       if (in_flight.valid()) in_flight.wait();
+      // Decode admission was charged before any container bytes arrived, so
+      // it used the default-window floor — the EBCS header (which fixes
+      // window_elems, hence the real resident cap) ships inside the first
+      // data frame. Re-charge the delta once the header has parsed and
+      // re-run the budget check, so a client-chosen large window bounces
+      // with a 429 mid-stream instead of bypassing the tenant budget.
+      if (dec) {
+        const std::size_t cap = dec->resident_cap_bytes();
+        if (cap > charged) {
+          acct.add(memory::Tier::kRaw, cap - charged);
+          charged = cap;
+          if (cfg_.tenant_budget_bytes != 0 &&
+              acct.usage().resident() > cfg_.tenant_budget_bytes) {
+            acct.on_over_budget();
+            throw ServerError(kErrOverBudget,
+                              "tenant '" + req.tenant + "' over byte budget (" +
+                                  std::to_string(cfg_.tenant_budget_bytes) +
+                                  ") for declared window; retry when sessions drain");
+          }
+        }
+      }
       switch (frame.type) {
         case FrameType::kData: {
           bytes_in += frame.payload.size();
@@ -317,13 +364,13 @@ void Server::handle_request(int fd) {
     std::vector<std::uint8_t> done;
     put_u64(done, bytes_in);
     put_u64(done, bytes_out);
-    write_frame(fd, FrameType::kDone, done.data(), done.size());
+    write_frame(fd, FrameType::kDone, done.data(), done.size(), &poll_stop);
   } catch (const ServerError& e) {
     if (e.code() == kErrOverBudget)
       metrics.on_reject();
     else
       metrics.on_error();
-    write_error_frame(fd, e.code(), e.what());
+    write_error_frame(fd, e.code(), e.what(), &poll_stop);
     release();
   } catch (const std::exception& e) {
     metrics.on_error();
@@ -331,7 +378,7 @@ void Server::handle_request(int fd) {
     // of the feed task — that is the client's fault, not the server's.
     const bool client_fault =
         std::string_view(e.what()).find("streaming decode:") != std::string_view::npos;
-    write_error_frame(fd, client_fault ? kErrMalformed : kErrInternal, e.what());
+    write_error_frame(fd, client_fault ? kErrMalformed : kErrInternal, e.what(), &poll_stop);
     release();
   }
 }

@@ -21,7 +21,8 @@
 ///    tenant over budget gets a 429-style reject — backpressure, not
 ///    queueing — until running sessions release their charge.
 ///  - SIGTERM drain: stop() closes the listener, lets in-flight requests
-///    complete (bounded by drain_grace_ms), wakes idle reads, joins every
+///    complete (bounded by drain_grace_ms), wakes idle reads AND writes
+///    (a peer that stopped reading cannot wedge shutdown), joins every
 ///    handler, then releases pooled sessions. The daemon wrapper
 ///    (examples/ebct_serve.cpp) translates the signal into stop().
 ///  - Observability: every request runs under an obs::trace span
@@ -85,8 +86,25 @@ class Server {
     return active_conns_.load(std::memory_order_relaxed);
   }
 
+  /// Handler threads currently tracked (live or awaiting reap) — test hook
+  /// for the accept loop's reaping of finished connections.
+  std::size_t tracked_connections() const {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    return conns_.size();
+  }
+
  private:
+  /// A handler thread plus the flag it sets just before exiting, so the
+  /// accept loop can reap finished threads without blocking on live ones —
+  /// a long-lived daemon must not accumulate one joinable thread (pthread
+  /// stack + vector entry) per completed request until shutdown.
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
+  void reap_finished_locked();  ///< join+erase done conns; conns_mu_ held
   void handle_connection(int fd);
   void handle_request(int fd);
   memory::TierAccounting& tenant_acct(const std::string& tenant);
@@ -99,8 +117,8 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> active_conns_{0};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conns_mu_;
+  std::vector<Conn> conns_;
   std::mutex tenants_mu_;
   std::map<std::string, std::unique_ptr<memory::TierAccounting>> tenants_;
 };

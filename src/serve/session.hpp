@@ -57,9 +57,10 @@ class DecodeSession {
   std::size_t window_elems() const { return dec_ ? dec_->window_elems() : 0; }
 
   /// Resident bound: one framed block plus its decoded floats. Known only
-  /// after the header parses; before that, report the floor for one
-  /// default-window stream (the server re-checks per block via the
-  /// decoder's own max_block_bytes cap).
+  /// after the container header parses (it fixes window_elems); before
+  /// that, reports the floor for one default-window stream. The server
+  /// charges the floor at admission and re-charges the actual cap against
+  /// the tenant budget once the header arrives (429 mid-stream on overrun).
   std::size_t resident_cap_bytes() const;
 
  private:

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "baselines/jpegact.hpp"
 #include "baselines/lossless.hpp"
 #include "baselines/strategies.hpp"
@@ -134,6 +137,55 @@ TEST(LosslessCodecTest, DenseRandomDataBarelyCompresses) {
   EXPECT_LT(ratio, 1.6);  // mantissa randomness dominates
   Tensor back = codec.decode(enc);
   for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], t[i]);
+}
+
+TEST(LosslessCodecTest, MaliciousHeaderFieldsRejectedBeforeAnyReadOrAlloc) {
+  // decode_span parses untrusted bytes (reachable from EBCS containers sent
+  // to the ebct_serve decode path): huge u64 header fields must be rejected
+  // by comparing against the bytes actually remaining — a summed total can
+  // wrap below payload_len and pass a naive truncation check, after which
+  // the span arithmetic reads far out of bounds.
+  baselines::LosslessCodec codec;
+  Tensor t = testutil::relu_like_tensor(Shape::nchw(1, 1, 8, 8), 143, 0.5);
+  const auto enc = codec.encode("l", t);
+  ASSERT_GE(enc.bytes.size(), 88u);  // 11-field u64 header
+  std::vector<float> out;
+
+  // Overwrite u64 header field `field` (0 numel, 1 packed_count, 2 rle_size,
+  // 3..10 plane table/body sizes) and expect a loud reject.
+  const auto with_field = [&enc](std::size_t field, std::uint64_t v) {
+    std::vector<std::uint8_t> bytes = enc.bytes;
+    std::memcpy(bytes.data() + 8 * field, &v, 8);
+    return bytes;
+  };
+  const auto expect_reject = [&out, &t](const std::vector<std::uint8_t>& bytes) {
+    EXPECT_THROW(
+        baselines::LosslessCodec::decode_span(bytes.data(), bytes.size(), t.numel(), out),
+        std::runtime_error);
+  };
+
+  // rle_size near 2^64: kHeaderBytes + rle_size wraps below payload_len.
+  expect_reject(with_field(2, ~std::uint64_t{0} - 32));
+  // A plane size near 2^64 wraps the sum the same way.
+  expect_reject(with_field(5, ~std::uint64_t{0} - 1024));
+  // Two sizes whose sum wraps while each is individually < payload_len.
+  {
+    std::vector<std::uint8_t> bytes = enc.bytes;
+    const std::uint64_t half = std::uint64_t{1} << 63;
+    std::memcpy(bytes.data() + 8 * 3, &half, 8);
+    std::memcpy(bytes.data() + 8 * 4, &half, 8);
+    expect_reject(bytes);
+  }
+  // packed_count beyond numel must be rejected before sizing any allocation
+  // by it (a multi-terabyte vector from a few-KB payload otherwise).
+  expect_reject(with_field(1, std::uint64_t{1} << 40));
+
+  // Honest truncation is still caught.
+  expect_reject({enc.bytes.begin(), enc.bytes.end() - 1});
+  // And the untouched payload still round-trips.
+  baselines::LosslessCodec::decode_span(enc.bytes.data(), enc.bytes.size(), t.numel(), out);
+  ASSERT_EQ(out.size(), t.numel());
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(out[i], t[i]);
 }
 
 TEST(JpegActCodecTest, RoundtripApproximate) {

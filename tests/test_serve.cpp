@@ -12,7 +12,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
@@ -540,6 +542,118 @@ TEST(ServeTest, MidStreamDisconnectReleasesTheSessionAndItsBudget) {
   const obs::ServeSnapshot s = obs::ServeMetrics::instance().snapshot();
   EXPECT_GE(s.errors, 1u);
   EXPECT_EQ(s.active_sessions, 0u);
+}
+
+TEST(ServeTest, DecodeBudgetRechargedOnceHeaderDeclaresItsWindow) {
+  // Decode admission happens before any container bytes arrive, so it can
+  // only charge the default-window floor (~2.3 MB). Once the EBCS header
+  // parses, the actual resident cap — which scales with the client-chosen
+  // window_elems — must be re-charged against the tenant ledger and bounce
+  // with a 429 mid-stream, or the decode path bypasses the budget entirely.
+  ServerConfig cfg;
+  cfg.tenant_budget_bytes = 4u << 20;  // above the floor, far below a 1Mi-elem window
+  ServerFixture fx(cfg);
+
+  // Hand-crafted EBCS header declaring window_elems = 1Mi (cap ~21 MB).
+  std::vector<std::uint8_t> header = {'E', 'B', 'C', 'S', 1, 0};
+  const std::string spec = "none";
+  put_u16(header, static_cast<std::uint16_t>(spec.size()));
+  header.insert(header.end(), spec.begin(), spec.end());
+  put_u32(header, 1u << 20);
+
+  const int fd = raw_connect(fx.server->config().socket_path);
+  const std::vector<std::uint8_t> open = serialize_open({Op::kDecode, "acme", "", 0});
+  write_frame(fd, FrameType::kOpen, open.data(), open.size());
+  Frame ok;
+  ASSERT_TRUE(read_frame(fd, ok, kDefaultMaxFrame));
+  ASSERT_EQ(ok.type, FrameType::kOpenOk);
+  write_frame(fd, FrameType::kData, header.data(), header.size());
+  write_frame(fd, FrameType::kFinish, nullptr, 0);
+  EXPECT_EQ(read_error_code(fd), kErrOverBudget);
+  ::close(fd);
+
+  fx.quiesce();
+  const obs::ServeSnapshot s = obs::ServeMetrics::instance().snapshot();
+  EXPECT_EQ(s.rejects, 1u);
+  // The re-charged cap is released with the failed request.
+  EXPECT_EQ(fx.server->tenant_usage("acme").resident(), 0u);
+
+  // A modest-window container under the same budget still decodes fine.
+  const std::vector<float> payload = make_payload(kTestWindow, 53);
+  const std::vector<std::uint8_t> container = reference_container("none", payload);
+  Client client = fx.client();
+  std::vector<std::uint8_t> decoded;
+  std::size_t cursor = 0;
+  client.decode("acme", chunked_reader(container, 0, &cursor), vector_writer(&decoded));
+  EXPECT_EQ(as_floats(decoded), reference_roundtrip("none", payload));
+}
+
+TEST(ServeTest, StopAbandonsWritesToAStalledReader) {
+  // A client that stops *reading* leaves the server's data-frame writes
+  // blocked on a full socket buffer; drain_grace_ms must bound those too,
+  // or stop() joins the handler forever and SIGTERM shutdown hangs.
+  ServerConfig cfg;
+  cfg.drain_grace_ms = 300;
+  ServerFixture fx(cfg);
+
+  const int fd = raw_connect(fx.server->config().socket_path);
+  const std::vector<std::uint8_t> open = serialize_open(
+      {Op::kEncode, "t", "none", static_cast<std::uint32_t>(kTestWindow)});
+  write_frame(fd, FrameType::kOpen, open.data(), open.size());
+  Frame ok;
+  ASSERT_TRUE(read_frame(fd, ok, kDefaultMaxFrame));
+  ASSERT_EQ(ok.type, FrameType::kOpenOk);
+
+  // Flood input without ever reading output. "none" emits about one output
+  // byte per input byte, so well past the socket buffers (~a few hundred
+  // KB) the pool task wedges in a data-frame write.
+  const std::vector<float> window = make_payload(kTestWindow, 51);
+  std::vector<std::uint8_t> blob;
+  for (int i = 0; i < 64; ++i)
+    append_frame(blob, FrameType::kData,
+                 reinterpret_cast<const std::uint8_t*>(window.data()),
+                 window.size() * sizeof(float));
+  std::size_t off = 0;
+  int stalls = 0;
+  while (off < blob.size() && stalls < 20) {
+    const ssize_t n = ::send(fd, blob.data() + off,
+                             std::min<std::size_t>(blob.size() - off, 64 * 1024),
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) break;
+    ++stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fx.server->stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(fx.server->running());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  ::close(fd);
+}
+
+TEST(ServeTest, FinishedConnectionsAreReapedWhileRunning) {
+  // A long-lived daemon must not accumulate one finished-but-joinable
+  // handler thread per completed request until shutdown: the accept loop
+  // reaps done connections on every poll slice (<= 100 ms apart).
+  ServerFixture fx;
+  const std::vector<float> payload = make_payload(1024, 52);
+  for (int i = 0; i < 8; ++i) {
+    Client client = fx.client();
+    (void)client.encode_bytes("t", "none", kTestWindow, as_bytes(payload));
+  }
+  fx.quiesce();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fx.server->tracked_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(fx.server->tracked_connections(), 0u);
+  EXPECT_TRUE(fx.server->running());  // reaping happened without stop()
 }
 
 TEST(ServeTest, StopDrainsAndReleasesEverything) {
